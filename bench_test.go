@@ -1,0 +1,186 @@
+package repro
+
+// The benchmark harness: one testing.B benchmark per experiment in the
+// per-experiment index of DESIGN.md §3. Each benchmark regenerates its
+// experiment's table at reduced scale and reports the headline quantities
+// as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces every figure- and theorem-validation in one run. Full-scale
+// tables are produced by cmd/experiments (see EXPERIMENTS.md).
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/expt"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+// benchCfg derives a small-scale experiment config from the benchmark's own
+// iteration index so repeated iterations stay deterministic but distinct.
+func benchCfg(i int) expt.Config {
+	return expt.Config{Full: false, Seed: 0xbe9c4 + uint64(i), Workers: 0}
+}
+
+// runExperiment executes the registered experiment once per b.N iteration
+// and reports a named cell of the first table as a benchmark metric.
+func runExperiment(b *testing.B, id, metricCol, metricName string) {
+	b.Helper()
+	e, ok := expt.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %s not registered", id)
+	}
+	var last float64
+	for i := 0; i < b.N; i++ {
+		tables := e.Run(benchCfg(i))
+		if len(tables) == 0 || len(tables[0].Rows) == 0 {
+			b.Fatalf("%s produced no data", id)
+		}
+		if metricCol != "" {
+			last = cell(b, tables[0], len(tables[0].Rows)-1, metricCol)
+		}
+	}
+	if metricCol != "" {
+		b.ReportMetric(last, metricName)
+	}
+}
+
+func cell(b *testing.B, t *sweep.Table, row int, colName string) float64 {
+	b.Helper()
+	for i, c := range t.Columns {
+		if c == colName {
+			v, err := strconv.ParseFloat(t.Rows[row][i], 64)
+			if err != nil {
+				b.Fatalf("cell %q not numeric: %q", colName, t.Rows[row][i])
+			}
+			return v
+		}
+	}
+	b.Fatalf("no column %q in %q (have %v)", colName, t.Title, t.Columns)
+	return 0
+}
+
+// --- figures ---
+
+func BenchmarkF1Distributions(b *testing.B) { runExperiment(b, "F1", "", "") }
+func BenchmarkF2Network(b *testing.B)       { runExperiment(b, "F2", "", "") }
+
+// --- theorem experiments ---
+
+func BenchmarkE1Algorithm1(b *testing.B) {
+	runExperiment(b, "E1", "rounds/log2 n", "rounds/log2n")
+}
+
+func BenchmarkE2Phase1Growth(b *testing.B) {
+	runExperiment(b, "E2", "ratio/d", "growth/d")
+}
+
+func BenchmarkE3Phase2(b *testing.B) {
+	runExperiment(b, "E3", "fraction of n", "phase2frac")
+}
+
+func BenchmarkE4Phase3(b *testing.B) {
+	runExperiment(b, "E4", "(rounds to finish)/log2 n", "p3rounds/log2n")
+}
+
+func BenchmarkE5Diameter(b *testing.B) {
+	runExperiment(b, "E5", "within +1 rate", "diam-within1")
+}
+
+func BenchmarkE6Gossip(b *testing.B) {
+	runExperiment(b, "E6", "rounds/(d·log2 n)", "rounds/dlog2n")
+}
+
+func BenchmarkE7General(b *testing.B) {
+	runExperiment(b, "E7", "tx/node ÷ (log²n/λ)", "tx-normalised")
+}
+
+func BenchmarkE8Tradeoff(b *testing.B) {
+	runExperiment(b, "E8", "tx/node · λ/log²n", "energy·λ/log²n")
+}
+
+func BenchmarkE9LowerBound(b *testing.B) {
+	runExperiment(b, "E9", "energy/bound (bound = n·log n/2)", "energy/bound")
+}
+
+func BenchmarkE10StarPath(b *testing.B) {
+	runExperiment(b, "E10", "tx/bound", "tx/bound")
+}
+
+func BenchmarkE11Corollary(b *testing.B) {
+	runExperiment(b, "E11", "tx/node ÷ log²N", "tx/log²N")
+}
+
+func BenchmarkE12VsEG(b *testing.B) {
+	runExperiment(b, "E12", "max tx/node", "maxtx")
+}
+
+// --- extensions / ablations ---
+
+func BenchmarkX1Geometric(b *testing.B)    { runExperiment(b, "X1", "", "") }
+func BenchmarkX2AblatePhase2(b *testing.B) { runExperiment(b, "X2", "", "") }
+func BenchmarkX3AblateBeta(b *testing.B)   { runExperiment(b, "X3", "", "") }
+func BenchmarkX4Engine(b *testing.B)       { runExperiment(b, "X4", "", "") }
+
+// --- micro-benchmarks of the primitives the experiments lean on ---
+
+func BenchmarkPrimitiveAlgorithm1Run(b *testing.B) {
+	n := 4096
+	p := 8 * math.Log(float64(n)) / float64(n)
+	g := graph.GNPDirected(n, p, rng.New(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radio.RunBroadcast(g, 0, core.NewAlgorithm1(p), rng.New(uint64(i)),
+			radio.Options{MaxRounds: 10000})
+	}
+}
+
+func BenchmarkPrimitiveAlgorithm3Grid(b *testing.B) {
+	g := graph.Grid2D(32, 32)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radio.RunBroadcast(g, 0, core.NewAlgorithm3(g.N(), 62, 2), rng.New(uint64(i)),
+			radio.Options{MaxRounds: 200000})
+	}
+}
+
+func BenchmarkPrimitiveGossipRound(b *testing.B) {
+	n := 512
+	p := 8 * math.Log(float64(n)) / float64(n)
+	g := graph.GNPDirected(n, p, rng.New(2))
+	a := core.NewAlgorithm2(p)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radio.RunGossip(g, a, rng.New(uint64(i)), radio.GossipOptions{
+			MaxRounds: a.RoundBudget(n), StopWhenComplete: true,
+		})
+	}
+}
+
+func BenchmarkPrimitiveGNPGeneration(b *testing.B) {
+	n := 1 << 16
+	p := 8 * math.Log(float64(n)) / float64(n)
+	r := rng.New(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		graph.GNPDirected(n, p, r)
+	}
+}
+
+func BenchmarkX5Adversity(b *testing.B) { runExperiment(b, "X5", "", "") }
+func BenchmarkX6Mobility(b *testing.B)  { runExperiment(b, "X6", "", "") }
+
+func BenchmarkX7Battery(b *testing.B) { runExperiment(b, "X7", "", "") }
+
+func BenchmarkX8Heterogeneous(b *testing.B) { runExperiment(b, "X8", "", "") }

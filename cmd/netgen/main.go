@@ -1,0 +1,76 @@
+// Command netgen generates a topology and prints its structural statistics:
+// sizes, degrees, connectivity, diameter, and (for the paper's G(n,p)
+// workloads) the Lemma 3.1 diameter prediction.
+//
+// Examples:
+//
+//	netgen -topo gnp:n=2048,p=0.02
+//	netgen -topo fig2:n=128,d=96
+//	netgen -topo rgg:n=800,rmin=0.05,rmax=0.15 -edges
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cliutil"
+	"repro/internal/graph"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+func main() {
+	var (
+		topoSpec  = flag.String("topo", "gnp:n=1024,p=0.054", "topology spec (see internal/cliutil)")
+		seed      = flag.Uint64("seed", 1, "generation seed")
+		edges     = flag.Bool("edges", false, "dump the edge list")
+		exact     = flag.Bool("exact", false, "force exact diameter even for large graphs")
+		sampleSrc = flag.Int("samples", 64, "BFS sources for sampled diameter")
+	)
+	flag.Parse()
+
+	topo, err := cliutil.ParseTopology(*topoSpec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+	g := topo.Build(*seed)
+
+	deg := graph.Degrees(g)
+	t := sweep.NewTable(fmt.Sprintf("topology %s (seed %d)", *topoSpec, *seed),
+		"property", "value")
+	t.AddRow("nodes", sweep.FInt(g.N()))
+	t.AddRow("edges", sweep.FInt(g.M()))
+	t.AddRow("mean degree", sweep.F(deg.MeanOut))
+	t.AddRow("out-degree min/max", fmt.Sprintf("%d / %d", deg.MinOut, deg.MaxOut))
+	t.AddRow("in-degree min/max", fmt.Sprintf("%d / %d", deg.MinIn, deg.MaxIn))
+	t.AddRow("symmetric links", fmt.Sprintf("%v", g.IsSymmetric()))
+	t.AddRow("weakly connected", fmt.Sprintf("%v", graph.IsWeaklyConnected(g)))
+	t.AddRow("strongly connected", fmt.Sprintf("%v", graph.IsStronglyConnected(g)))
+	t.AddRow("reachable from source", sweep.FInt(graph.ReachableFrom(g, topo.Source)))
+
+	if g.N() <= 4096 || *exact {
+		d, strong := graph.Diameter(g)
+		label := "diameter (exact"
+		if !strong {
+			label += ", reachable pairs only"
+		}
+		t.AddRow(label+")", sweep.FInt(d))
+	} else {
+		d := graph.DiameterSampled(g, *sampleSrc, rng.New(*seed^0x5a))
+		t.AddRow(fmt.Sprintf("diameter (sampled, %d sources)", *sampleSrc), sweep.FInt(d))
+	}
+	ecc, _ := graph.Eccentricity(g, topo.Source)
+	t.AddRow("source eccentricity", sweep.FInt(ecc))
+	fmt.Print(t.Markdown())
+
+	if *edges {
+		fmt.Println()
+		for u := 0; u < g.N(); u++ {
+			for _, v := range g.Out(graph.NodeID(u)) {
+				fmt.Printf("%d %d\n", u, v)
+			}
+		}
+	}
+}

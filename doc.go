@@ -1,0 +1,28 @@
+// Package repro is a production-quality Go reproduction of
+//
+//	Berenbrink, Cooper, Hu — "Energy efficient randomised communication in
+//	unknown AdHoc networks" (SPAA 2007; TCS 410 (2009) 2549–2561).
+//
+// The library implements the paper's three algorithms (energy-efficient
+// broadcast on random networks with at most one transmission per node,
+// gossiping on random networks, and known-diameter broadcast on arbitrary
+// networks with the new selection distribution α), every substrate they
+// need (a synchronous radio-network simulator with exact collision
+// semantics, graph generators including both lower-bound constructions, the
+// baseline protocols the paper compares against), and a harness that
+// regenerates an experiment table for every theorem and figure.
+//
+// Start with README.md for the layout, DESIGN.md for the system inventory
+// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
+// results. The runnable entry points are:
+//
+//	cmd/broadcast    — run one broadcast protocol on one topology
+//	cmd/gossip       — run a gossip protocol
+//	cmd/netgen       — generate topologies and print structural stats
+//	cmd/experiments  — regenerate every experiment table
+//	examples/...     — quickstart and scenario walk-throughs
+//
+// The package tree under internal/ is the implementation: core (the paper's
+// algorithms), radio (the round engine), graph, dist, baseline, lowerbound,
+// stats, sweep, expt, rng.
+package repro

@@ -1,0 +1,63 @@
+// Dynamic: gossiping while the topology changes underneath the protocol —
+// the mobility motivation of §1 ("due to the mobility of the nodes, the
+// network topology changes over time"). Algorithm 2 is oblivious and
+// time-invariant (transmit w.p. 1/d, join rumors), so it keeps making
+// progress when we re-sample G(n,p) every epoch; the radio.GossipSession
+// carries each node's rumor knowledge across the re-wirings.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+func main() {
+	n := 256
+	p := 8 * math.Log(float64(n)) / float64(n)
+	d := p * float64(n)
+	budget := core.NewAlgorithm2(p).RoundBudget(n)
+
+	fmt.Printf("dynamic gossip: n=%d, d=np=%.0f, round budget %d\n\n", n, d, budget)
+
+	// Scenario A — static network, one run to completion.
+	g := graph.GNPDirected(n, p, rng.New(1))
+	static := radio.RunGossip(g, core.NewAlgorithm2(p), rng.New(2), radio.GossipOptions{
+		MaxRounds: budget, StopWhenComplete: true,
+	})
+	fmt.Println("scenario A — static network:")
+	fmt.Printf("  completed at round %d, tx/node %.1f\n\n", static.CompleteRound, static.TxPerNode())
+
+	// Scenario B — the nodes move: every epoch the hearing relation is a
+	// fresh G(n,p), but knowledge persists in the session.
+	fmt.Println("scenario B — topology re-sampled every epoch (mobile nodes):")
+	epochs := 16
+	perEpoch := budget / epochs
+	sess := radio.NewGossipSession(n)
+	r := rng.New(3)
+	var totalTx int64
+	for e := 1; e <= epochs && !sess.Complete(); e++ {
+		ge := graph.GNPDirected(n, p, r.Split(uint64(e)))
+		res := sess.Run(ge, core.NewAlgorithm2(p), r.Split(uint64(e)^0xe9), radio.GossipOptions{
+			MaxRounds: perEpoch, StopWhenComplete: true,
+		})
+		totalTx += res.TotalTx
+		frac := 100 * float64(sess.KnownPairs()) / (float64(n) * float64(n))
+		status := ""
+		if res.Completed() {
+			status = fmt.Sprintf("  <- complete at absolute round %d", res.CompleteRound)
+		}
+		fmt.Printf("  epoch %2d: fresh topology, knowledge %5.1f%%%s\n", e, frac, status)
+	}
+	fmt.Printf("\n  energy across epochs: %.1f tx/node (static run: %.1f)\n",
+		float64(totalTx)/float64(n), static.TxPerNode())
+
+	fmt.Println("\nTakeaway: re-wiring the network between epochs does not break Algorithm 2 —")
+	fmt.Println("it is oblivious and time-invariant, so every epoch contributes the same")
+	fmt.Println("expected progress; mobility costs rounds, never correctness. (A deployment")
+	fmt.Println("would additionally time-stamp and expire rumors, as §3 notes.)")
+}

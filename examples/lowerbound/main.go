@@ -1,0 +1,58 @@
+// Lowerbound: why ~n·log n/2 transmissions are unavoidable (Observation 4.3).
+//
+// The construction: n destination radios, each hearing exactly two
+// intermediate radios. A destination learns the message only in a round
+// where EXACTLY ONE of its two intermediates transmits — transmit too
+// rarely and nothing happens, too eagerly and the two collide forever. This
+// example sweeps the per-round rate q, showing (a) the analytic energy
+// curve, (b) Monte-Carlo agreement on the actual simulated network, and
+// (c) that no rate escapes the floor.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/graph"
+	"repro/internal/lowerbound"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+func main() {
+	n := 256
+	fail := 1.0 / float64(n)
+	net := graph.NewObs43Network(n)
+	bound := lowerbound.Obs43Bound(n)
+
+	fmt.Printf("Observation 4.3 network: %d destination pairs, %d nodes, bound = n·log n/2 = %.0f tx\n\n",
+		n, net.G.N(), bound)
+	fmt.Printf("%-6s %-14s %-16s %-14s %-14s %-12s\n",
+		"q", "rounds needed", "energy analytic", "energy (sim)", "success(sim)", "vs bound")
+
+	for _, q := range []float64{0.005, 0.02, 0.1, 0.3, 0.5, 0.8} {
+		rounds := lowerbound.Obs43RoundsNeeded(n, q, fail)
+		analytic := lowerbound.Obs43ExpectedTx(n, q, rounds)
+
+		const trials = 40
+		var txSum float64
+		success := 0
+		for s := uint64(0); s < trials; s++ {
+			r := rng.New(s)
+			warmup := 1 + r.Geometric(q) // rounds until the source itself fires
+			res := radio.RunBroadcast(net.G, net.Source, &baseline.FixedProb{Q: q},
+				rng.New(s^0x10), radio.Options{MaxRounds: warmup + rounds, StopWhenInformed: true})
+			txSum += float64(res.TotalTx)
+			if res.Completed() {
+				success++
+			}
+		}
+		fmt.Printf("%-6.3f %-14d %-16.0f %-14.0f %-14.2f %-12.2f\n",
+			q, rounds, analytic, txSum/trials, float64(success)/trials, txSum/trials/bound)
+	}
+
+	fmt.Println("\nEvery rate pays ≥ the bound: slow rates stretch the campaign, fast rates")
+	fmt.Println("collide — the optimum sits at ≈ 2n·ln n ≈ 1.39× the n·log₂n/2 bound, exactly")
+	fmt.Println("as the Observation's calculus predicts. An oblivious sender cannot cheat it;")
+	fmt.Println("only topology knowledge (which the unknown-network model denies) would help.")
+}

@@ -1,0 +1,82 @@
+// Sensorgrid: the paper's motivating scenario — battery-powered sensors
+// scattered over a field, with heterogeneous transmission ranges (so links
+// are asymmetric and acknowledgement protocols are impossible). A base
+// station floods a firmware-update announcement; we compare the energy three
+// protocols spend to reach every sensor.
+//
+// This is the §5 "random geometric graphs" setting, implemented by the
+// heterogeneous RandomGeometric generator.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+func main() {
+	// 800 sensors in the unit square. Radio ranges vary by hardware batch:
+	// between r_c and 3·r_c where r_c is the connectivity radius — some
+	// sensors hear neighbours that cannot hear them back.
+	n := 800
+	rc := math.Sqrt(math.Log(float64(n)) / (math.Pi * float64(n)))
+	g, pts := graph.RandomGeometric(n, rc, 3*rc, rng.New(2024))
+
+	asym := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Out(graph.NodeID(u)) {
+			if !g.HasEdge(v, graph.NodeID(u)) {
+				asym++
+			}
+		}
+	}
+	diam := graph.DiameterSampled(g, 48, rng.New(7))
+	fmt.Printf("sensor field: %d nodes, %d links (%d one-way), sampled diameter %d\n",
+		g.N(), g.M(), asym, diam)
+	fmt.Printf("ranges: %.3f .. %.3f (connectivity radius %.3f)\n\n", rc, 3*rc, rc)
+	_ = pts
+
+	// The base station (node 0) announces the update. Compare protocols that
+	// only assume knowledge of n and a diameter bound.
+	protocols := []struct {
+		name string
+		make func() radio.Broadcaster
+	}{
+		{"algorithm3 (known D)", func() radio.Broadcaster { return core.NewAlgorithm3(n, diam, 2) }},
+		{"czumaj-rytter (known D)", func() radio.Broadcaster { return baseline.NewCzumajRytter(n, diam, 2) }},
+		{"decay (BGI)", func() radio.Broadcaster { return baseline.NewDecay(2*diam + 16) }},
+	}
+
+	fmt.Printf("%-26s %-9s %-8s %-10s %-12s\n", "protocol", "informed", "rounds", "tx/node", "battery cost")
+	const trials = 5
+	for _, pr := range protocols {
+		var rounds, txn, informed float64
+		done := 0
+		for s := uint64(0); s < trials; s++ {
+			res := radio.RunBroadcast(g, 0, pr.make(), rng.New(s), radio.Options{MaxRounds: 200000})
+			informed += float64(res.Informed) / float64(n)
+			txn += res.TxPerNode()
+			if res.Completed() {
+				done++
+				rounds += float64(res.InformedRound)
+			}
+		}
+		roundsCell := "n/a"
+		if done > 0 {
+			roundsCell = fmt.Sprintf("%.0f", rounds/float64(done))
+		}
+		// A toy battery model: 1 unit per transmission (reception is free in
+		// the paper's energy measure — ranges are fixed, listening is cheap).
+		fmt.Printf("%-26s %-9.3f %-8s %-10.2f %-12.1f\n",
+			pr.name, informed/trials, roundsCell, txn/trials, txn/trials*float64(n))
+	}
+
+	fmt.Println("\nTakeaway: with the diameter known, Algorithm 3's α distribution reaches every")
+	fmt.Println("sensor for a fraction of Czumaj–Rytter's energy (factor ≈ log(n/D)), and both")
+	fmt.Println("beat Decay's per-wavefront cost — battery life is the scarce resource here.")
+}

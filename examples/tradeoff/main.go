@@ -1,0 +1,57 @@
+// Tradeoff: the Theorem 4.2 dial. On a city-block grid network, sweep the
+// plateau width λ of the α distribution from log(n/D) (fastest) to log n
+// (cheapest) and print the resulting latency–energy curve, next to the
+// theorem's predictions O(Dλ + log² n) time and O(log² n / λ) energy.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+func main() {
+	side := 20
+	g := graph.Grid2D(side, side)
+	n := g.N()
+	D := 2 * (side - 1)
+	lamMin := dist.LambdaFor(n, D)
+	L := int(math.Log2(float64(n)))
+	l2sq := math.Log2(float64(n)) * math.Log2(float64(n))
+
+	fmt.Printf("grid %dx%d: n=%d, D=%d, λ ranges %d..%d (Theorem 4.2)\n\n", side, side, n, D, lamMin, L)
+	fmt.Printf("%-4s %-10s %-12s %-12s %-12s %-14s\n",
+		"λ", "rounds", "~Dλ+log²n", "tx/node", "~log²n/λ", "energy×latency")
+
+	const trials = 6
+	for lam := lamMin; lam <= L; lam++ {
+		var rounds, txn float64
+		done := 0
+		for s := uint64(0); s < trials; s++ {
+			a := core.NewTradeoff(n, lam, 2)
+			res := radio.RunBroadcast(g, 0, a, rng.New(s*977+uint64(lam)), radio.Options{MaxRounds: 400000})
+			txn += res.TxPerNode()
+			if res.Completed() {
+				done++
+				rounds += float64(res.InformedRound)
+			}
+		}
+		if done == 0 {
+			fmt.Printf("%-4d (no completions)\n", lam)
+			continue
+		}
+		r := rounds / float64(done)
+		e := txn / trials
+		fmt.Printf("%-4d %-10.0f %-12.0f %-12.2f %-12.2f %-14.0f\n",
+			lam, r, float64(D*lam)+l2sq, e, l2sq/float64(lam), r*e)
+	}
+
+	fmt.Println("\nReading the curve: small λ minimises latency (the messages race through")
+	fmt.Println("layers), large λ minimises battery drain; the product column shows there is")
+	fmt.Println("no free lunch — Theorem 4.2 says the product cannot beat ~D·log² n.")
+}

@@ -1,0 +1,120 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// Battery is a persistent per-node energy store: each transmission costs one
+// unit and a node with an empty battery stays silent forever. The store
+// survives across protocol runs, so it models a sensor network performing
+// REPEATED broadcast campaigns until the first one fails — the functional
+// consequence of the paper's per-node energy bounds (a network running
+// Algorithm 3 lives ≈ λ times longer than one running Czumaj–Rytter, and a
+// network running Algorithm 1 pays one unit per node per campaign).
+type Battery struct {
+	budget int
+	spent  []int32
+}
+
+// NewBattery creates a battery bank for n nodes with the given per-node
+// budget (in transmissions).
+func NewBattery(n, budget int) *Battery {
+	if n < 1 || budget < 0 {
+		panic("baseline: battery needs n >= 1 and budget >= 0")
+	}
+	return &Battery{budget: budget, spent: make([]int32, n)}
+}
+
+// Budget returns the per-node budget.
+func (b *Battery) Budget() int { return b.budget }
+
+// Spent returns how many transmissions node v has paid for so far.
+func (b *Battery) Spent(v graph.NodeID) int { return int(b.spent[v]) }
+
+// Remaining returns node v's remaining transmissions.
+func (b *Battery) Remaining(v graph.NodeID) int { return b.budget - int(b.spent[v]) }
+
+// DeadCount returns the number of nodes with empty batteries.
+func (b *Battery) DeadCount() int {
+	dead := 0
+	for _, s := range b.spent {
+		if int(s) >= b.budget {
+			dead++
+		}
+	}
+	return dead
+}
+
+// Limit wraps a broadcast protocol so that every transmission draws from
+// this battery. The inner protocol is still consulted each round (its
+// randomness stream advances identically with or without the budget); only
+// the emission is vetoed. Dead nodes still receive — listening is free in
+// the paper's energy measure.
+func (b *Battery) Limit(inner radio.Broadcaster) *BatteryLimited {
+	return &BatteryLimited{Inner: inner, bat: b}
+}
+
+// BatteryLimited is the wrapper produced by Battery.Limit. It may also be
+// constructed directly via NewBatteryLimited for a single-run budget.
+type BatteryLimited struct {
+	Inner radio.Broadcaster
+	bat   *Battery
+}
+
+// NewBatteryLimited wraps inner with a fresh single-run battery of the
+// given budget (allocated at Begin).
+func NewBatteryLimited(inner radio.Broadcaster, budget int) *BatteryLimited {
+	if budget < 0 {
+		panic("baseline: battery budget must be non-negative")
+	}
+	return &BatteryLimited{Inner: inner, bat: &Battery{budget: budget}}
+}
+
+// Name implements radio.Broadcaster.
+func (b *BatteryLimited) Name() string {
+	return fmt.Sprintf("%s/battery=%d", b.Inner.Name(), b.bat.budget)
+}
+
+// Begin implements radio.Broadcaster. A battery created by NewBattery keeps
+// its charge across runs; one created by NewBatteryLimited is allocated
+// fresh here.
+func (b *BatteryLimited) Begin(n int, src graph.NodeID, r *rng.RNG) {
+	if b.bat.spent == nil {
+		b.bat.spent = make([]int32, n)
+	}
+	if len(b.bat.spent) != n {
+		panic("baseline: battery sized for a different network")
+	}
+	b.Inner.Begin(n, src, r)
+}
+
+// BeginRound implements radio.Broadcaster.
+func (b *BatteryLimited) BeginRound(round int) { b.Inner.BeginRound(round) }
+
+// OnInformed implements radio.Broadcaster.
+func (b *BatteryLimited) OnInformed(round int, v graph.NodeID) { b.Inner.OnInformed(round, v) }
+
+// ShouldTransmit implements radio.Broadcaster: the inner decision is always
+// evaluated, then vetoed if the battery is flat.
+func (b *BatteryLimited) ShouldTransmit(round int, v graph.NodeID) bool {
+	want := b.Inner.ShouldTransmit(round, v)
+	if !want {
+		return false
+	}
+	if int(b.bat.spent[v]) >= b.bat.budget {
+		return false // dead battery: the radio stays silent
+	}
+	b.bat.spent[v]++
+	return true
+}
+
+// Quiesced implements radio.Broadcaster. Conservative: defer to the inner
+// protocol (the engine's round cap bounds stalled runs anyway).
+func (b *BatteryLimited) Quiesced(round int) bool { return b.Inner.Quiesced(round) }
+
+// Spent returns how many transmissions node v has paid for.
+func (b *BatteryLimited) Spent(v graph.NodeID) int { return b.bat.Spent(v) }

@@ -1,0 +1,150 @@
+package core
+
+// Property-based tests of the paper's protocol invariants, over random
+// graphs, parameters, and seeds.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/trace"
+)
+
+func TestAlgorithm1NeverTransmitsTwiceProperty(t *testing.T) {
+	// The headline invariant of Theorem 2.1 under arbitrary (n, p, seed):
+	// no node ever transmits twice, including on graphs far outside the
+	// theorem's p-range (the schedule enforces it structurally).
+	r := rng.New(1)
+	f := func(rawN, rawP, rawSeed uint8) bool {
+		// Keep d = np > 1 (Algorithm 1's validity domain): n >= 64 and
+		// p >= 0.05 give d >= 3.2 at the corner.
+		n := int(rawN)%200 + 64
+		p := float64(rawP%60)/100 + 0.05
+		g := graph.GNPDirected(n, p, r.Split(uint64(rawSeed)))
+		a := NewAlgorithm1(p)
+		res := radio.RunBroadcast(g, 0, a, rng.New(uint64(rawSeed)+7), radio.Options{MaxRounds: 5000})
+		return res.MaxNodeTx <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlgorithm1PassiveForever(t *testing.T) {
+	// Trace-level check: once a node transmits, it never transmits again —
+	// the per-node event sequence contains at most one tx.
+	g := graph.GNPDirected(512, 0.06, rng.New(2))
+	rec := &trace.Recorder{}
+	a := NewAlgorithm1(0.06)
+	radio.RunBroadcast(g, 0, a, rng.New(3), radio.Options{MaxRounds: 5000, Tracer: rec})
+	seen := map[int]int{}
+	for _, e := range rec.Events {
+		if e.Kind == "tx" {
+			seen[e.Node]++
+			if seen[e.Node] > 1 {
+				t.Fatalf("node %d transmitted %d times", e.Node, seen[e.Node])
+			}
+		}
+	}
+}
+
+func TestAlgorithm3WindowInvariantProperty(t *testing.T) {
+	// No transmission may occur more than Window rounds after the node's
+	// informing round; verified from the raw event trace.
+	r := rng.New(4)
+	f := func(rawSeed uint8) bool {
+		g := graph.GNPDirected(200, 0.08, r.Split(uint64(rawSeed)))
+		a := NewAlgorithm3(200, 8, 0.5)
+		rec := &trace.Recorder{}
+		radio.RunBroadcast(g, 0, a, rng.New(uint64(rawSeed)*31+5),
+			radio.Options{MaxRounds: 5000, Tracer: rec})
+		informedAt := map[int]int{0: 0}
+		for _, e := range rec.Events {
+			switch e.Kind {
+			case "rx":
+				informedAt[e.Node] = e.Round
+			case "tx":
+				at, ok := informedAt[e.Node]
+				if !ok {
+					return false // transmitted before being informed
+				}
+				if e.Round > at+a.Window {
+					return false // transmitted after window expiry
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnlyInformedNodesTransmitProperty(t *testing.T) {
+	// Engine-level sanity for every protocol in this package: a tx event
+	// for a node must be preceded by its rx event (or the node is the
+	// source). Uses Algorithm 1 and GeneralBroadcast over random inputs.
+	r := rng.New(5)
+	f := func(rawSeed, which uint8) bool {
+		g := graph.GNPDirected(128, 0.1, r.Split(uint64(rawSeed)))
+		var proto radio.Broadcaster
+		if which%2 == 0 {
+			proto = NewAlgorithm1(0.1)
+		} else {
+			proto = NewAlgorithm3(128, 6, 1)
+		}
+		rec := &trace.Recorder{}
+		radio.RunBroadcast(g, 0, proto, rng.New(uint64(rawSeed)^0x5555),
+			radio.Options{MaxRounds: 2000, Tracer: rec})
+		informed := map[int]bool{0: true}
+		for _, e := range rec.Events {
+			switch e.Kind {
+			case "rx":
+				if informed[e.Node] {
+					return false // double informing
+				}
+				informed[e.Node] = true
+			case "tx":
+				if !informed[e.Node] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGossipKnowledgeNeverExceedsReachability(t *testing.T) {
+	// A node can only ever learn rumors of nodes with a directed path TO it
+	// (information flows along edges). Check Algorithm 2's final knowledge
+	// against BFS reachability on sparse digraphs with unreachable parts.
+	r := rng.New(6)
+	f := func(rawSeed uint8) bool {
+		n := 48
+		g := graph.GNPDirected(n, 0.03, r.Split(uint64(rawSeed))) // often disconnected
+		sess := radio.NewGossipSession(n)
+		a := NewAlgorithm2(0.1) // d = 4.8 (protocol parameter need not match graph)
+		sess.Run(g, a, rng.New(uint64(rawSeed)+99), radio.GossipOptions{MaxRounds: 3000})
+		rev := g.Reverse()
+		for v := 0; v < n; v++ {
+			// Rumors v knows must originate from nodes that reach v, i.e.
+			// nodes reachable from v in the reverse graph.
+			dist := graph.BFS(rev, graph.NodeID(v))
+			for u := 0; u < n; u++ {
+				if sess.Knows(graph.NodeID(v), graph.NodeID(u)) && dist[u] < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+func TestSequentialGossipCompletes(t *testing.T) {
+	// p chosen with np² = 20 so every one of the n broadcasts has a safe
+	// Phase-3 capacity (see the capacity note in core_test.go).
+	n := 128
+	p := 0.4
+	g := graph.GNPDirected(n, p, rng.New(1))
+	res := RunSequentialGossip(g, p, rng.New(2), 10000)
+	if !res.Success() {
+		t.Fatalf("sequential gossip: %d/%d broadcasts completed", res.Completed, res.Sources)
+	}
+	if res.Rounds < n { // at least one round per source
+		t.Fatalf("rounds %d implausibly low", res.Rounds)
+	}
+}
+
+func TestSequentialGossipSlowerThanAlgorithm2(t *testing.T) {
+	// The reason §3 exists: the composition costs O(n log n) rounds where
+	// Algorithm 2 costs O(d log n); with d < n the gap follows.
+	n := 128
+	p := 0.4
+	g := graph.GNPDirected(n, p, rng.New(3))
+	seq := RunSequentialGossip(g, p, rng.New(4), 10000)
+	a := NewAlgorithm2(p)
+	direct := radio.RunGossip(g, a, rng.New(5), radio.GossipOptions{
+		MaxRounds: a.RoundBudget(n), StopWhenComplete: true,
+	})
+	if !seq.Success() || !direct.Completed() {
+		t.Fatal("one of the protocols failed")
+	}
+	if seq.Rounds <= direct.CompleteRound {
+		t.Fatalf("sequential (%d rounds) should be slower than Algorithm 2 (%d rounds)",
+			seq.Rounds, direct.CompleteRound)
+	}
+}
+
+func TestSequentialGossipEnergyAccounting(t *testing.T) {
+	n := 64
+	p := 0.3
+	g := graph.GNPDirected(n, p, rng.New(6))
+	res := RunSequentialGossip(g, p, rng.New(7), 10000)
+	// Each broadcast sends at most one transmission per node, so across n
+	// broadcasts no node exceeds n and the total is at most n².
+	if res.MaxNodeTx > n {
+		t.Fatalf("max node tx %d exceeds n", res.MaxNodeTx)
+	}
+	if res.TotalTx > int64(n)*int64(n) {
+		t.Fatalf("total tx %d exceeds n²", res.TotalTx)
+	}
+	if res.TxPerNode() <= 0 {
+		t.Fatal("tx accounting empty")
+	}
+}
+
+func TestUnknownDiameterCompletes(t *testing.T) {
+	g := graph.Grid2D(12, 12)
+	n := g.N()
+	completed := 0
+	for seed := uint64(0); seed < 5; seed++ {
+		u := NewUnknownDiameter(n, 2)
+		res := radio.RunBroadcast(g, 0, u, rng.New(seed), radio.Options{MaxRounds: 100000})
+		if res.Completed() {
+			completed++
+		}
+	}
+	if completed < 4 {
+		t.Fatalf("unknown-diameter completed %d/5", completed)
+	}
+}
+
+func TestUnknownDiameterSlowerThanAlgorithm3(t *testing.T) {
+	// Knowing D lets Algorithm 3 concentrate its plateau on λ = log(n/D)
+	// levels; the uniform guesser needs a log n / λ factor more rounds
+	// through layer-bound regions. On a 16x16 grid (λ=4, log n=8) the gap
+	// is ≈ 2x.
+	g := graph.Grid2D(16, 16)
+	n := g.N()
+	D := 30
+	var known, unknown float64
+	const trials = 6
+	for seed := uint64(0); seed < trials; seed++ {
+		a3 := NewAlgorithm3(n, D, 2)
+		r1 := radio.RunBroadcast(g, 0, a3, rng.New(seed), radio.Options{MaxRounds: 200000, StopWhenInformed: true})
+		ud := NewUnknownDiameter(n, 2)
+		r2 := radio.RunBroadcast(g, 0, ud, rng.New(seed), radio.Options{MaxRounds: 200000, StopWhenInformed: true})
+		if !r1.Completed() || !r2.Completed() {
+			t.Fatalf("seed %d: incomplete run", seed)
+		}
+		known += float64(r1.InformedRound)
+		unknown += float64(r2.InformedRound)
+	}
+	if unknown <= known {
+		t.Fatalf("unknown-D rounds %v should exceed known-D rounds %v", unknown/trials, known/trials)
+	}
+}
+
+func TestUnknownDiameterName(t *testing.T) {
+	if NewUnknownDiameter(64, 1).Name() != "unknown-diameter" {
+		t.Fatal("name")
+	}
+}

@@ -1,0 +1,169 @@
+// Package expt defines one registered, runnable experiment per theorem and
+// figure of the paper (see DESIGN.md §3 for the index). Each experiment
+// regenerates a table whose *shape* validates the paper's claim: who wins,
+// by what factor, and how quantities scale in n, d, D and λ.
+//
+// Experiments are shared by cmd/experiments (which renders EXPERIMENTS.md)
+// and the root-level benchmark harness (one testing.B benchmark per
+// experiment).
+package expt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+// Config controls experiment scale and reproducibility.
+type Config struct {
+	// Full selects the paper-scale parameter grid; false runs a reduced grid
+	// suitable for CI and benchmarks.
+	Full bool
+	// Seed is the base seed; every trial seed derives from it.
+	Seed uint64
+	// Workers bounds harness parallelism (0 = GOMAXPROCS).
+	Workers int
+}
+
+// trials returns the per-point repetition count for the configured scale.
+func (c Config) trials() int {
+	if c.Full {
+		return 30
+	}
+	return 8
+}
+
+// Experiment is a registered, runnable reproduction unit.
+type Experiment struct {
+	ID       string // stable identifier, e.g. "E1"
+	Title    string
+	PaperRef string // theorem/figure the experiment validates
+	Run      func(Config) []*sweep.Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) {
+	for _, x := range registry {
+		if x.ID == e.ID {
+			panic("expt: duplicate experiment id " + e.ID)
+		}
+	}
+	registry = append(registry, e)
+}
+
+// All returns every registered experiment sorted by ID (figures first, then
+// theorem experiments, then extensions).
+func All() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
+	return out
+}
+
+// idLess orders F* before E* before X*, numerically within a class.
+func idLess(a, b string) bool {
+	rank := func(id string) (int, int) {
+		class := 3
+		switch id[0] {
+		case 'F':
+			class = 0
+		case 'E':
+			class = 1
+		case 'X':
+			class = 2
+		}
+		num := 0
+		fmt.Sscanf(id[1:], "%d", &num)
+		return class, num
+	}
+	ca, na := rank(a)
+	cb, nb := rank(b)
+	if ca != cb {
+		return ca < cb
+	}
+	return na < nb
+}
+
+// ByID looks an experiment up by its identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// --- shared helpers ---
+
+// broadcastTrial holds everything needed to run one protocol/topology pair
+// repeatedly.
+type broadcastTrial struct {
+	// makeGraph builds the per-trial topology and returns the source.
+	makeGraph func(seed uint64) (*graph.Digraph, graph.NodeID)
+	// makeProto builds a fresh protocol instance per trial.
+	makeProto func() radio.Broadcaster
+	opts      radio.Options
+	// makeOpts, when set, builds per-trial options (e.g. a jamming schedule
+	// closed over a trial-seeded RNG) instead of the static opts.
+	makeOpts func(seed uint64) radio.Options
+}
+
+// standard metric keys produced by runBroadcastTrials.
+const (
+	mSuccess   = "success"
+	mRounds    = "informedRound"
+	mTotalTx   = "totalTx"
+	mTxPerNode = "txPerNode"
+	mMaxNodeTx = "maxNodeTx"
+	mInformedF = "informedFrac"
+)
+
+// runBroadcastTrials runs the spec cfg.trials() times and returns the
+// standard metric samples. Failed runs report NaN for informedRound.
+func runBroadcastTrials(cfg Config, spec broadcastTrial) map[string][]float64 {
+	return sweep.RunTrials(cfg.trials(), cfg.Seed, cfg.Workers, func(t sweep.Trial) sweep.Metrics {
+		g, src := spec.makeGraph(t.Seed)
+		proto := spec.makeProto()
+		opts := spec.opts
+		if spec.makeOpts != nil {
+			opts = spec.makeOpts(t.Seed)
+		}
+		res := radio.RunBroadcast(g, src, proto, rng.New(rng.SubSeed(t.Seed, 1)), opts)
+		m := sweep.Metrics{
+			mSuccess:   0,
+			mTotalTx:   float64(res.TotalTx),
+			mTxPerNode: res.TxPerNode(),
+			mMaxNodeTx: float64(res.MaxNodeTx),
+			mInformedF: float64(res.Informed) / float64(g.N()),
+			mRounds:    math.NaN(),
+		}
+		if res.Completed() {
+			m[mSuccess] = 1
+			m[mRounds] = float64(res.InformedRound)
+		}
+		return m
+	})
+}
+
+// log2 is a shorthand used across the experiment tables.
+func log2(x float64) float64 { return math.Log2(x) }
+
+// sparseP returns the δ·ln n/n operating point used for "sparse" G(n,p)
+// workloads (δ = 8 keeps the Phase-3 informing capacity comfortably above
+// ln n at simulation scale; see the core package tests for the analysis).
+func sparseP(n int) float64 {
+	return 8 * math.Log(float64(n)) / float64(n)
+}
+
+// denseP returns a dense operating point p = 5/√n (np² = 25, comfortably
+// above the ≈1.5·ln n Phase-3 capacity the dense case needs) — safely above
+// the paper's n^{-2/5} Phase-2 threshold for all simulated sizes.
+func denseP(n int) float64 {
+	return 5 / math.Sqrt(float64(n))
+}

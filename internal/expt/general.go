@@ -1,0 +1,185 @@
+package expt
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+)
+
+func init() {
+	register(Experiment{ID: "E7", Title: "Algorithm 3 vs Czumaj–Rytter vs Decay on general networks",
+		PaperRef: "Theorem 4.1", Run: runE7})
+	register(Experiment{ID: "E8", Title: "Time–energy trade-off (λ sweep)",
+		PaperRef: "Theorem 4.2", Run: runE8})
+	register(Experiment{ID: "X3", Title: "Ablation: activity-window β sweep for Algorithm 3",
+		PaperRef: "Theorem 4.1 (window constant)", Run: runX3})
+}
+
+// e7Topology is one named general-network workload.
+type e7Topology struct {
+	name string
+	D    int
+	make func(seed uint64) (*graph.Digraph, graph.NodeID)
+}
+
+func e7Topologies(cfg Config) []e7Topology {
+	gridSide := 16
+	pathLen := 256
+	if cfg.Full {
+		gridSide = 24
+		pathLen = 512
+	}
+	return []e7Topology{
+		{
+			name: fmt.Sprintf("grid %dx%d", gridSide, gridSide),
+			D:    2 * (gridSide - 1),
+			make: func(seed uint64) (*graph.Digraph, graph.NodeID) {
+				return graph.Grid2D(gridSide, gridSide), 0
+			},
+		},
+		{
+			name: fmt.Sprintf("path %d", pathLen),
+			D:    pathLen - 1,
+			make: func(seed uint64) (*graph.Digraph, graph.NodeID) {
+				return graph.Path(pathLen), 0
+			},
+		},
+		{
+			name: "layered 1-64-256-64-1 (x2)",
+			D:    8,
+			make: func(seed uint64) (*graph.Digraph, graph.NodeID) {
+				return graph.LayeredRandom([]int{1, 64, 256, 64, 1, 64, 256, 64, 1}, 0.1, rng.New(seed)), 0
+			},
+		},
+	}
+}
+
+func runE7(cfg Config) []*sweep.Table {
+	t := sweep.NewTable("E7: known-diameter broadcasting (Theorem 4.1)",
+		"topology", "n", "D", "λ", "protocol", "success", "rounds",
+		"tx/node", "max tx/node", "tx/node ÷ (log²n/λ)")
+	sig := ""
+	for _, topo := range e7Topologies(cfg) {
+		topo := topo
+		g0, _ := topo.make(1)
+		n := g0.N()
+		lambda := dist.LambdaFor(n, topo.D)
+		l2 := log2(float64(n))
+		unit := l2 * l2 / float64(lambda)
+		txSamples := map[string][]float64{}
+		for _, proto := range []struct {
+			name string
+			make func() radio.Broadcaster
+		}{
+			{"algorithm3", func() radio.Broadcaster { return core.NewAlgorithm3(n, topo.D, 2) }},
+			{"czumaj-rytter", func() radio.Broadcaster { return baseline.NewCzumajRytter(n, topo.D, 2) }},
+			{"decay", func() radio.Broadcaster {
+				// Decay needs ~(D + log n) phases of log n rounds to finish;
+				// give it a proportional per-node budget.
+				return baseline.NewDecay(2*topo.D/int(math.Max(1, l2)) + 32)
+			}},
+		} {
+			proto := proto
+			out := runBroadcastTrials(cfg, broadcastTrial{
+				makeGraph: topo.make,
+				makeProto: proto.make,
+				opts:      radio.Options{MaxRounds: 300000},
+			})
+			txSamples[proto.name] = out[mTxPerNode]
+			rounds := math.NaN()
+			if sweep.RateOf(out, mSuccess) > 0 {
+				rounds = sweep.MeanOf(out, mRounds)
+			}
+			txn := sweep.MeanOf(out, mTxPerNode)
+			t.AddRow(topo.name, sweep.FInt(n), sweep.FInt(topo.D), sweep.FInt(lambda),
+				proto.name, sweep.F(sweep.RateOf(out, mSuccess)), sweep.F(rounds),
+				sweep.F(txn), sweep.F(sweep.MeanOf(out, mMaxNodeTx)), sweep.F(txn/unit))
+		}
+		// Statistical confirmation that CR's per-node energy exceeds
+		// Algorithm 3's: one-sided permutation test over the trial samples.
+		p := stats.PermutationTest(txSamples["algorithm3"], txSamples["czumaj-rytter"],
+			5000, rng.New(rng.SubSeed(cfg.Seed, 0xe7)))
+		sig += fmt.Sprintf(" %s: p=%s;", topo.name, sweep.F(p))
+	}
+	t.Note = "The headline §4 comparison: Algorithm 3 and Czumaj–Rytter broadcast in comparable " +
+		"O(D log(n/D) + log² n) time, but CR's α′ needs a λ-times longer activity window, so " +
+		"its energy is Θ(log² n) per node versus Algorithm 3's Θ(log² n / λ). Decay is the " +
+		"classical baseline: competitive time, energy Θ(D + log n) per informing wavefront. " +
+		"One-sided permutation tests of CR tx/node > Algorithm 3 tx/node:" + sig
+	return []*sweep.Table{t}
+}
+
+func runE8(cfg Config) []*sweep.Table {
+	gridSide := 16
+	if cfg.Full {
+		gridSide = 24
+	}
+	g := graph.Grid2D(gridSide, gridSide)
+	n := g.N()
+	D := 2 * (gridSide - 1)
+	lamMin := dist.LambdaFor(n, D)
+	L := int(log2(float64(n)))
+	t := sweep.NewTable(
+		fmt.Sprintf("E8: λ trade-off on the %dx%d grid (Theorem 4.2)", gridSide, gridSide),
+		"λ", "success", "rounds", "rounds/(Dλ+log²n)", "tx/node", "tx/node · λ/log²n")
+	l2sq := log2(float64(n)) * log2(float64(n))
+	for lam := lamMin; lam <= L; lam++ {
+		lam := lam
+		out := runBroadcastTrials(cfg, broadcastTrial{
+			makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) { return g, 0 },
+			makeProto: func() radio.Broadcaster { return core.NewTradeoff(n, lam, 2) },
+			opts:      radio.Options{MaxRounds: 300000},
+		})
+		rounds := math.NaN()
+		if sweep.RateOf(out, mSuccess) > 0 {
+			rounds = sweep.MeanOf(out, mRounds)
+		}
+		txn := sweep.MeanOf(out, mTxPerNode)
+		predictedT := float64(D*lam) + l2sq
+		t.AddRow(sweep.FInt(lam), sweep.F(sweep.RateOf(out, mSuccess)),
+			sweep.F(rounds), sweep.F(rounds/predictedT),
+			sweep.F(txn), sweep.F(txn*float64(lam)/l2sq))
+	}
+	t.Note = "Theorem 4.2: time grows like O(Dλ + log² n) (column 4 near-constant) while energy " +
+		"falls like O(log² n / λ) (column 6 near-constant) — the dial between latency and " +
+		"battery life."
+	return []*sweep.Table{t}
+}
+
+func runX3(cfg Config) []*sweep.Table {
+	gridSide := 14
+	if cfg.Full {
+		gridSide = 20
+	}
+	g := graph.Grid2D(gridSide, gridSide)
+	n := g.N()
+	D := 2 * (gridSide - 1)
+	t := sweep.NewTable(
+		fmt.Sprintf("X3: Algorithm-3 window ablation on the %dx%d grid", gridSide, gridSide),
+		"β (window = β·log²n)", "window rounds", "success", "informed fraction", "tx/node")
+	for _, beta := range []float64{0.25, 0.5, 1, 2, 4} {
+		beta := beta
+		out := runBroadcastTrials(cfg, broadcastTrial{
+			makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) { return g, 0 },
+			makeProto: func() radio.Broadcaster { return core.NewAlgorithm3(n, D, beta) },
+			opts:      radio.Options{MaxRounds: 300000},
+		})
+		t.AddRow(sweep.F(beta), sweep.FInt(core.WindowRounds(n, beta)),
+			sweep.F(sweep.RateOf(out, mSuccess)),
+			sweep.F(sweep.MeanOf(out, mInformedF)),
+			sweep.F(sweep.MeanOf(out, mTxPerNode)))
+	}
+	t.Note = "The β·log² n window is the completion-probability dial: too small and informed " +
+		"nodes retire before relaying past slow layers (success collapses); energy grows " +
+		"linearly in β. The paper's β is a w.h.p. constant; β ≈ 1–2 already suffices at " +
+		"simulation scale."
+	return []*sweep.Table{t}
+}

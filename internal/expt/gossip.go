@@ -1,0 +1,140 @@
+package expt
+
+import (
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+func init() {
+	register(Experiment{ID: "E6", Title: "Algorithm 2 gossip on G(n,p)",
+		PaperRef: "Theorem 3.2", Run: runE6})
+}
+
+func runE6(cfg Config) []*sweep.Table {
+	type pt struct {
+		n int
+		d float64
+	}
+	pts := []pt{{128, 24}, {256, 24}, {512, 32}}
+	if cfg.Full {
+		pts = append(pts, pt{1024, 32}, pt{1024, 64})
+	}
+	t := sweep.NewTable("E6: Algorithm 2 gossip on G(n,p) (Theorem 3.2)",
+		"n", "d=np", "success", "rounds", "rounds/(d·log2 n)",
+		"tx/node", "tx/node / log2 n", "max tx/node")
+	for _, p0 := range pts {
+		p0 := p0
+		p := p0.d / float64(p0.n)
+		out := sweep.RunTrials(cfg.trials(), cfg.Seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
+			g := graph.GNPDirected(p0.n, p, rng.New(tr.Seed))
+			a := core.NewAlgorithm2(p)
+			res := radio.RunGossip(g, a, rng.New(rng.SubSeed(tr.Seed, 1)), radio.GossipOptions{
+				MaxRounds: a.RoundBudget(p0.n), StopWhenComplete: true,
+			})
+			m := sweep.Metrics{
+				"success": 0, "rounds": math.NaN(),
+				"txPerNode": res.TxPerNode(), "maxNodeTx": float64(res.MaxNodeTx),
+			}
+			if res.Completed() {
+				m["success"] = 1
+				m["rounds"] = float64(res.CompleteRound)
+			}
+			return m
+		})
+		rounds := sweep.MeanOf(out, "rounds")
+		txn := sweep.MeanOf(out, "txPerNode")
+		l2 := log2(float64(p0.n))
+		t.AddRow(sweep.FInt(p0.n), sweep.F(p0.d),
+			sweep.F(sweep.RateOf(out, "success")),
+			sweep.F(rounds), sweep.F(rounds/(p0.d*l2)),
+			sweep.F(txn), sweep.F(txn/l2),
+			sweep.F(sweep.MeanOf(out, "maxNodeTx")))
+	}
+	t.Note = "Theorem 3.2: gossip completes in O(d·log n) rounds (column 5 near-constant) with " +
+		"O(log n) transmissions per node (column 7 near-constant). Runs stop at completion, " +
+		"so tx/node reflects the energy actually needed."
+
+	// Contrast with the deterministic TDMA schedule: collision-free but
+	// needs Θ(n·D) rounds and Θ(D) transmissions per node.
+	n := 256
+	d := 24.0
+	p := d / float64(n)
+	t2 := sweep.NewTable("E6b: Algorithm 2 vs TDMA round-robin (n=256, d=24)",
+		"protocol", "success", "rounds", "tx/node (mean)", "max tx/node")
+	type gossipProto struct {
+		name string
+		make func() radio.Gossiper
+		caps int
+	}
+	a2budget := core.NewAlgorithm2(p).RoundBudget(n)
+	for _, gp := range []gossipProto{
+		{"algorithm2", func() radio.Gossiper { return core.NewAlgorithm2(p) }, a2budget},
+		{"tdma", func() radio.Gossiper { return &baseline.TDMAGossip{} }, n * 64},
+	} {
+		gp := gp
+		out := sweep.RunTrials(cfg.trials(), cfg.Seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
+			g := graph.GNPDirected(n, p, rng.New(tr.Seed))
+			res := radio.RunGossip(g, gp.make(), rng.New(rng.SubSeed(tr.Seed, 1)),
+				radio.GossipOptions{MaxRounds: gp.caps, StopWhenComplete: true})
+			m := sweep.Metrics{"success": 0, "rounds": math.NaN(),
+				"txPerNode": res.TxPerNode(), "maxNodeTx": float64(res.MaxNodeTx)}
+			if res.Completed() {
+				m["success"] = 1
+				m["rounds"] = float64(res.CompleteRound)
+			}
+			return m
+		})
+		t2.AddRow(gp.name, sweep.F(sweep.RateOf(out, "success")),
+			sweep.F(sweep.MeanOf(out, "rounds")),
+			sweep.F(sweep.MeanOf(out, "txPerNode")),
+			sweep.F(sweep.MeanOf(out, "maxNodeTx")))
+	}
+	t2.Note = "TDMA is collision-free and spends only Θ(D) transmissions per node (cheap on " +
+		"this diameter-2 graph), but it pays Θ(n) rounds per sweep — already 2× slower at " +
+		"n=256, with the gap growing linearly in n. Algorithm 2 finishes in O(d·log n) " +
+		"rounds at O(log n) transmissions per node regardless of n."
+
+	// E6c: the §3 motivation — gossip by sequentially broadcasting every
+	// rumor with Algorithm 1 costs O(n·log n) rounds; Algorithm 2 exploits
+	// the random topology for O(d·log n).
+	nc := 128
+	pc := 0.4 // np² = 20: every component broadcast has safe Phase-3 capacity
+	t3 := sweep.NewTable("E6c: Algorithm 2 vs sequential Algorithm-1 broadcasts (n=128, §3 intro)",
+		"protocol", "success", "rounds", "total tx")
+	outSeq := sweep.RunTrials(cfg.trials(), cfg.Seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
+		g := graph.GNPDirected(nc, pc, rng.New(tr.Seed))
+		res := core.RunSequentialGossip(g, pc, rng.New(rng.SubSeed(tr.Seed, 1)), 10000)
+		m := sweep.Metrics{"success": 0, "rounds": float64(res.Rounds), "tx": float64(res.TotalTx)}
+		if res.Success() {
+			m["success"] = 1
+		}
+		return m
+	})
+	outA2 := sweep.RunTrials(cfg.trials(), cfg.Seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
+		g := graph.GNPDirected(nc, pc, rng.New(tr.Seed))
+		a := core.NewAlgorithm2(pc)
+		res := radio.RunGossip(g, a, rng.New(rng.SubSeed(tr.Seed, 1)), radio.GossipOptions{
+			MaxRounds: a.RoundBudget(nc), StopWhenComplete: true,
+		})
+		m := sweep.Metrics{"success": 0, "rounds": math.NaN(), "tx": float64(res.TotalTx)}
+		if res.Completed() {
+			m["success"] = 1
+			m["rounds"] = float64(res.CompleteRound)
+		}
+		return m
+	})
+	t3.AddRow("algorithm2", sweep.F(sweep.RateOf(outA2, "success")),
+		sweep.F(sweep.MeanOf(outA2, "rounds")), sweep.F(sweep.MeanOf(outA2, "tx")))
+	t3.AddRow("sequential algorithm-1 broadcasts", sweep.F(sweep.RateOf(outSeq, "success")),
+		sweep.F(sweep.MeanOf(outSeq, "rounds")), sweep.F(sweep.MeanOf(outSeq, "tx")))
+	t3.Note = "The composition the paper mentions before Algorithm 2 (framework of [8] + the " +
+		"§2 broadcast): correct but Θ(n·log n) rounds. Algorithm 2's point is that random " +
+		"networks admit O(d·log n), a factor ≈ n/d faster."
+	return []*sweep.Table{t, t2, t3}
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// Hypercube returns the symmetric d-dimensional hypercube (n = 2^d nodes;
+// node u and v adjacent iff their ids differ in exactly one bit). A classic
+// radio-network testbed: diameter d = log₂ n with uniform degree d.
+func Hypercube(dim int) *Digraph {
+	if dim < 1 || dim > 30 {
+		panic("graph: hypercube needs 1 <= dim <= 30")
+	}
+	n := 1 << uint(dim)
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for bit := 0; bit < dim; bit++ {
+			v := u ^ (1 << uint(bit))
+			if u < v {
+				b.AddBoth(NodeID(u), NodeID(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus2D returns the w×h symmetric torus (grid with wrap-around); every
+// node has degree 4 and the diameter is ⌊w/2⌋+⌊h/2⌋. Useful when a
+// boundary-free medium-diameter topology is wanted.
+func Torus2D(w, h int) *Digraph {
+	if w < 3 || h < 3 {
+		panic("graph: torus needs w, h >= 3")
+	}
+	b := NewBuilder(w * h)
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			b.AddBoth(id(x, y), id((x+1)%w, y))
+			b.AddBoth(id(x, y), id(x, (y+1)%h))
+		}
+	}
+	return b.Build()
+}
+
+// RandomRegularOut returns a random digraph where every node has exactly
+// outDeg out-neighbours chosen uniformly without replacement (in-degrees
+// are Binomial(n-1, outDeg/(n-1)) ≈ Poisson(outDeg)). This is the fixed-
+// power radio abstraction: each radio reaches exactly outDeg listeners.
+func RandomRegularOut(n, outDeg int, r *rng.RNG) *Digraph {
+	if outDeg < 0 || outDeg > n-1 {
+		panic(fmt.Sprintf("graph: out-degree %d out of range for n=%d", outDeg, n))
+	}
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		// Sample outDeg targets from [0, n-1) and skip over u.
+		for _, t := range r.SampleWithoutReplacement(n-1, outDeg) {
+			v := t
+			if v >= u {
+				v++
+			}
+			b.AddEdge(NodeID(u), NodeID(v))
+		}
+	}
+	return b.Build()
+}
+
+// BarbellNetwork returns two complete symmetric cliques of size k joined by
+// a symmetric path of length bridgeLen — a worst case for collision-heavy
+// protocols (dense cliques) that must also traverse a sparse bridge.
+func BarbellNetwork(k, bridgeLen int) *Digraph {
+	if k < 2 || bridgeLen < 1 {
+		panic("graph: barbell needs k >= 2 and bridgeLen >= 1")
+	}
+	n := 2*k + bridgeLen - 1 // bridge shares endpoints with the cliques
+	b := NewBuilder(n)
+	// Clique A: nodes 0..k-1; bridge: k-1 .. k-1+bridgeLen; clique B: rest.
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			b.AddBoth(NodeID(u), NodeID(v))
+		}
+	}
+	bridgeEnd := k - 1 + bridgeLen
+	for v := k - 1; v < bridgeEnd; v++ {
+		b.AddBoth(NodeID(v), NodeID(v+1))
+	}
+	for u := bridgeEnd; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			b.AddBoth(NodeID(u), NodeID(v))
+		}
+	}
+	return b.Build()
+}
+
+// Caterpillar returns a symmetric path of length spine where every spine
+// node additionally carries `legs` leaf nodes — a high-degree-variance tree
+// workload.
+func Caterpillar(spine, legs int) *Digraph {
+	if spine < 1 || legs < 0 {
+		panic("graph: caterpillar needs spine >= 1 and legs >= 0")
+	}
+	n := spine * (1 + legs)
+	b := NewBuilder(n)
+	for i := 0; i+1 < spine; i++ {
+		b.AddBoth(NodeID(i), NodeID(i+1))
+	}
+	next := spine
+	for i := 0; i < spine; i++ {
+		for l := 0; l < legs; l++ {
+			b.AddBoth(NodeID(i), NodeID(next))
+			next++
+		}
+	}
+	return b.Build()
+}

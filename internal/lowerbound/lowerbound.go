@@ -1,0 +1,180 @@
+// Package lowerbound provides analytic estimators for the two lower-bound
+// constructions of §4.2, used to cross-check the simulation experiments:
+//
+//   - Observation 4.3: the 3n+1-node network where each destination d_i
+//     hears exactly two intermediates. Any oblivious sender with per-round
+//     probability q informs d_i with probability 2q(1-q) per round, forcing
+//     Σ_r q_r ≳ log n/4 per pair and therefore ≈ n·log n/2 transmissions in
+//     total for success probability 1 − 1/n.
+//
+//   - Theorem 4.4 (Fig. 2): the chain of stars S_1..S_{log n} (star S_i has
+//     2^i leaves) followed by a path. For any time-invariant level
+//     distribution there is a star with per-round crossing probability at
+//     most 1/ln n, so every node must stay active Ω(log² n) rounds; the path
+//     forces a per-round transmission rate Ω(1/(c·log(n/D))), giving
+//     Ω(log² n / log(n/D)) transmissions per node at optimal broadcast time.
+package lowerbound
+
+import (
+	"math"
+
+	"repro/internal/dist"
+)
+
+// Obs43PairProb returns the probability that a fixed destination is
+// informed in one round when both of its intermediates transmit
+// independently with probability q: exactly one of the two must fire.
+func Obs43PairProb(q float64) float64 {
+	if q < 0 || q > 1 {
+		panic("lowerbound: q outside [0,1]")
+	}
+	return 2 * q * (1 - q)
+}
+
+// Obs43SuccessProb returns the probability that ALL n destinations are
+// informed within the given number of rounds (intermediates informed at
+// round 0, fixed per-round probability q). Destinations are independent.
+func Obs43SuccessProb(n int, q float64, rounds int) float64 {
+	if n < 1 || rounds < 0 {
+		panic("lowerbound: invalid n or rounds")
+	}
+	pp := Obs43PairProb(q)
+	missOne := math.Pow(1-pp, float64(rounds))
+	return math.Pow(1-missOne, float64(n))
+}
+
+// Obs43RoundsNeeded returns the smallest round count R such that
+// Obs43SuccessProb(n, q, R) >= 1 - failure. Solved in closed form:
+// (1-(1-pp)^R)^n >= 1-failure  <=>  R >= ln(1-(1-failure)^{1/n}) / ln(1-pp).
+func Obs43RoundsNeeded(n int, q, failure float64) int {
+	if failure <= 0 || failure >= 1 {
+		panic("lowerbound: failure must be in (0,1)")
+	}
+	pp := Obs43PairProb(q)
+	if pp <= 0 {
+		panic("lowerbound: q gives zero progress")
+	}
+	perDest := 1 - math.Pow(1-failure, 1/float64(n))
+	r := math.Log(perDest) / math.Log(1-pp)
+	return int(math.Ceil(r))
+}
+
+// Obs43ExpectedTx returns the expected number of transmissions performed by
+// the 2n intermediates over R rounds at rate q (the destinations never relay
+// and the source transmits once).
+func Obs43ExpectedTx(n int, q float64, rounds int) float64 {
+	return 2 * float64(n) * q * float64(rounds)
+}
+
+// Obs43EnergyCurvePoint is one (q, rounds, energy) sample of the
+// energy-vs-rate curve at a fixed success target.
+type Obs43EnergyCurvePoint struct {
+	Q      float64
+	Rounds int
+	Energy float64 // expected intermediate transmissions
+}
+
+// Obs43EnergyCurve evaluates, for each q, the rounds needed for success
+// probability 1-failure and the resulting expected energy. The observation's
+// content is that Energy ≥ ~n·log n/2 for EVERY q: there is no rate at which
+// the oblivious sender class beats the bound.
+func Obs43EnergyCurve(n int, qs []float64, failure float64) []Obs43EnergyCurvePoint {
+	out := make([]Obs43EnergyCurvePoint, 0, len(qs))
+	for _, q := range qs {
+		r := Obs43RoundsNeeded(n, q, failure)
+		out = append(out, Obs43EnergyCurvePoint{Q: q, Rounds: r, Energy: Obs43ExpectedTx(n, q, r)})
+	}
+	return out
+}
+
+// Obs43Bound returns the paper's lower bound n·log₂(n)/2 on the total
+// number of transmissions for success probability 1 − 1/n.
+func Obs43Bound(n int) float64 {
+	return float64(n) * math.Log2(float64(n)) / 2
+}
+
+// StarCrossProb returns the per-round probability that a star with m active
+// leaves (all informed, all using the shared selection sequence drawn from
+// d) informs its centre: exactly one leaf transmits.
+//
+//	P = Σ_k d(k) · m·2^{-k}·(1-2^{-k})^{m-1}
+func StarCrossProb(d *dist.Distribution, m int) float64 {
+	if m < 1 {
+		panic("lowerbound: star needs m >= 1 leaves")
+	}
+	total := 0.0
+	for k := 1; k <= d.Levels(); k++ {
+		q := math.Pow(2, -float64(k))
+		total += d.Prob(k) * float64(m) * q * math.Pow(1-q, float64(m-1))
+	}
+	return total
+}
+
+// MinStarCrossProb returns min over stars S_1..S_L (sizes 2^1..2^L) of
+// StarCrossProb — the Theorem 4.4 quantity that is at most ~1/ln n for any
+// time-invariant distribution (the proof integrates the single-round
+// success over all star sizes and gets at most 1/ln 2 in total).
+func MinStarCrossProb(d *dist.Distribution, L int) (minProb float64, argStar int) {
+	if L < 1 {
+		panic("lowerbound: need L >= 1")
+	}
+	minProb = math.Inf(1)
+	for i := 1; i <= L; i++ {
+		p := StarCrossProb(d, 1<<uint(i))
+		if p < minProb {
+			minProb = p
+			argStar = i
+		}
+	}
+	return minProb, argStar
+}
+
+// SumStarCrossProb returns Σ_i StarCrossProb(d, 2^i) for i = 1..L. The
+// Theorem 4.4 proof shows this sum is at most 1/ln 2 ≈ 1.44 for every
+// distribution, which forces the minimum to be ≤ 1.44/L ≈ 1/ln n.
+func SumStarCrossProb(d *dist.Distribution, L int) float64 {
+	s := 0.0
+	for i := 1; i <= L; i++ {
+		s += StarCrossProb(d, 1<<uint(i))
+	}
+	return s
+}
+
+// Fig2PredictedStarsTime returns the expected number of rounds to traverse
+// all L stars: Σ_i (1/crossProb(2^i)) plus one round per centre→leaves hop
+// (a centre informs its leaves the first round it transmits, expected
+// 1/E[2^{-I}] rounds).
+func Fig2PredictedStarsTime(d *dist.Distribution, L int) float64 {
+	hop := 1 / d.ExpectedSendProb() // centre alone: transmits w.p. 2^{-I_r}
+	t := 0.0
+	for i := 1; i <= L; i++ {
+		t += hop + 1/StarCrossProb(d, 1<<uint(i))
+	}
+	return t
+}
+
+// Fig2PredictedPathTime returns the expected rounds to advance the message
+// along a directed path of the given number of edges: each hop has a single
+// active in-neighbour transmitting alone with probability E[2^{-I}].
+func Fig2PredictedPathTime(d *dist.Distribution, pathEdges int) float64 {
+	return float64(pathEdges) / d.ExpectedSendProb()
+}
+
+// Fig2PredictedTxPerActiveNode returns the expected transmissions of a node
+// that stays active for window rounds: window·E[2^{-I}].
+func Fig2PredictedTxPerActiveNode(d *dist.Distribution, window int) float64 {
+	return float64(window) * d.ExpectedSendProb()
+}
+
+// Theorem44Bound returns the paper's per-node transmission lower bound
+// log₂²n / (max{4c, 8}·log₂(n/D)) for completing broadcast within
+// c·D·log(n/D) rounds with probability 1 − 1/n.
+func Theorem44Bound(n, D int, c float64) float64 {
+	l := math.Log2(float64(n))
+	lam := math.Log2(float64(n) / float64(D))
+	if lam < 1 {
+		lam = 1
+	}
+	den := math.Max(4*c, 8) * lam
+	return l * l / den
+}

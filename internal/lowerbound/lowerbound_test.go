@@ -1,0 +1,257 @@
+package lowerbound
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+func TestObs43PairProb(t *testing.T) {
+	if got := Obs43PairProb(0.5); got != 0.5 {
+		t.Fatalf("pair prob at q=0.5: %v", got)
+	}
+	if got := Obs43PairProb(0); got != 0 {
+		t.Fatalf("pair prob at q=0: %v", got)
+	}
+	if got := Obs43PairProb(1); got != 0 {
+		t.Fatalf("pair prob at q=1: %v (both always transmit -> collision)", got)
+	}
+}
+
+func TestObs43SuccessProbMonotone(t *testing.T) {
+	prev := 0.0
+	for _, r := range []int{1, 5, 20, 100, 500} {
+		p := Obs43SuccessProb(32, 0.1, r)
+		if p < prev {
+			t.Fatalf("success prob not monotone in rounds at %d", r)
+		}
+		prev = p
+	}
+	if prev < 0.999 {
+		t.Fatalf("500 rounds at q=0.1 should succeed: %v", prev)
+	}
+}
+
+func TestObs43RoundsNeededConsistent(t *testing.T) {
+	n, q, fail := 64, 0.2, 1.0/64
+	r := Obs43RoundsNeeded(n, q, fail)
+	if got := Obs43SuccessProb(n, q, r); got < 1-fail {
+		t.Fatalf("R=%d gives success %v < %v", r, got, 1-fail)
+	}
+	if r > 1 {
+		if got := Obs43SuccessProb(n, q, r-1); got >= 1-fail {
+			t.Fatalf("R-1=%d already succeeds (%v); R not minimal", r-1, got)
+		}
+	}
+}
+
+func TestObs43EnergyCurveAboveBound(t *testing.T) {
+	// The lower bound's content: at EVERY rate q, achieving success 1-1/n
+	// costs at least ~n·log n/2 expected transmissions. (The bound's
+	// constant is loose; we verify a 0.8 safety factor.)
+	n := 256
+	qs := []float64{0.001, 0.01, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9}
+	curve := Obs43EnergyCurve(n, qs, 1.0/float64(n))
+	bound := Obs43Bound(n)
+	for _, pt := range curve {
+		if pt.Energy < 0.8*bound {
+			t.Fatalf("q=%v: energy %v below 0.8x bound %v", pt.Q, pt.Energy, bound)
+		}
+	}
+}
+
+func TestObs43AnalyticMatchesSimulation(t *testing.T) {
+	// Cross-validate the analytic success probability against Monte Carlo on
+	// the actual network with the actual FixedProb protocol.
+	n := 16
+	q := 0.15
+	rounds := 40
+	net := graph.NewObs43Network(n)
+	// In the simulation the source must first inform the intermediates
+	// (1 round with every informed node = source transmitting at rate q...).
+	// To match the analytic model exactly, give the run extra rounds until
+	// the source fires once, then count `rounds` more. Simpler: measure the
+	// conditional success within [t1+1, t1+rounds] where t1 = first source
+	// transmission. We approximate by using total budget t1+rounds per trial.
+	const trials = 800
+	hits := 0
+	for s := uint64(0); s < trials; s++ {
+		r := rng.New(s)
+		// Determine t1: rounds until source transmits (geometric).
+		t1 := 1 + r.Geometric(q)
+		f := &baseline.FixedProb{Q: q}
+		res := radio.RunBroadcast(net.G, net.Source, f, rng.New(s^0xabc), radio.Options{
+			MaxRounds: t1 + rounds, StopWhenInformed: true,
+		})
+		if res.Completed() {
+			hits++
+		}
+	}
+	got := float64(hits) / trials
+	// The analytic model assumes intermediates start informed; the simulated
+	// source keeps transmitting after t1 (it is never silenced), which can
+	// only help... it cannot collide with intermediates at destinations (the
+	// source is not an in-neighbour of any destination). It may differ by the
+	// exact t1 the sim realises vs. the geometric we drew, so allow slack.
+	want := Obs43SuccessProb(n, q, rounds)
+	if math.Abs(got-want) > 0.12 {
+		t.Fatalf("simulated success %v vs analytic %v", got, want)
+	}
+}
+
+func TestObs43Panics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"bad q":       func() { Obs43PairProb(1.2) },
+		"bad failure": func() { Obs43RoundsNeeded(8, 0.1, 0) },
+		"zero q":      func() { Obs43RoundsNeeded(8, 0, 0.1) },
+		"bad n":       func() { Obs43SuccessProb(0, 0.1, 5) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestStarCrossProbPeaksNearMatchingLevel(t *testing.T) {
+	// With a point distribution at level k, a star of size 2^k crosses with
+	// constant probability ~ (1-1/m)^{m-1} -> 1/e; far-off levels are bad.
+	n := 1 << 12
+	m := 1 << 6
+	matched := StarCrossProb(dist.NewPointLevel(n, 6), m)
+	if matched < 0.3 {
+		t.Fatalf("matched level cross prob %v", matched)
+	}
+	tooLow := StarCrossProb(dist.NewPointLevel(n, 1), m)   // everyone fires: collisions
+	tooHigh := StarCrossProb(dist.NewPointLevel(n, 12), m) // nobody fires
+	if tooLow > matched/4 || tooHigh > matched/2 {
+		t.Fatalf("off-level cross probs low=%v high=%v vs matched=%v", tooLow, tooHigh, matched)
+	}
+}
+
+func TestSumStarCrossProbBounded(t *testing.T) {
+	// Theorem 4.4's integral bound: Σ_i P(cross S_i) <= ~1/ln 2 for ANY
+	// distribution. Check for several.
+	n := 1 << 16
+	L := 16
+	for _, d := range []*dist.Distribution{
+		dist.NewUniformLevels(n),
+		dist.NewAlpha(n, 4),
+		dist.NewAlphaPrime(n, 4),
+		dist.NewPointLevel(n, 8),
+	} {
+		s := SumStarCrossProb(d, L)
+		if s > 1/math.Ln2+0.15 {
+			t.Fatalf("%s: star-cross sum %v exceeds 1/ln2", d.Name, s)
+		}
+	}
+}
+
+func TestMinStarCrossProbSmall(t *testing.T) {
+	// Consequently the worst star crosses with prob <= ~1.44/L.
+	n := 1 << 16
+	L := 16
+	for _, d := range []*dist.Distribution{
+		dist.NewUniformLevels(n),
+		dist.NewAlpha(n, 4),
+		dist.NewAlphaPrime(n, 4),
+	} {
+		m, arg := MinStarCrossProb(d, L)
+		if m > 1.6/float64(L) {
+			t.Fatalf("%s: min star cross %v (at S_%d) too large", d.Name, m, arg)
+		}
+		if arg < 1 || arg > L {
+			t.Fatalf("bad argmin %d", arg)
+		}
+	}
+}
+
+func TestStarCrossAnalyticMatchesSimulation(t *testing.T) {
+	// Monte Carlo one star: m leaves all active, drawing level k ~ d each
+	// round, each transmitting w.p. 2^{-k}. Compare per-round success rate.
+	n := 1 << 10
+	m := 32
+	d := dist.NewAlpha(n, 5)
+	r := rng.New(42)
+	const rounds = 200000
+	hits := 0
+	for i := 0; i < rounds; i++ {
+		k := d.Sample(r)
+		q := math.Pow(2, -float64(k))
+		cnt := 0
+		for leaf := 0; leaf < m; leaf++ {
+			if r.Bernoulli(q) {
+				cnt++
+				if cnt > 1 {
+					break
+				}
+			}
+		}
+		if cnt == 1 {
+			hits++
+		}
+	}
+	got := float64(hits) / rounds
+	want := StarCrossProb(d, m)
+	if math.Abs(got-want) > 0.01 {
+		t.Fatalf("simulated star cross %v vs analytic %v", got, want)
+	}
+}
+
+func TestFig2Predictions(t *testing.T) {
+	n := 1 << 10
+	d := dist.NewAlphaForDiameter(n, 64)
+	starsT := Fig2PredictedStarsTime(d, 10)
+	pathT := Fig2PredictedPathTime(d, 100)
+	if starsT <= 0 || pathT <= 0 {
+		t.Fatal("non-positive predictions")
+	}
+	// Path time = edges / E[sendprob].
+	want := 100 / d.ExpectedSendProb()
+	if math.Abs(pathT-want) > 1e-9 {
+		t.Fatalf("path time %v, want %v", pathT, want)
+	}
+	tx := Fig2PredictedTxPerActiveNode(d, 100)
+	if math.Abs(tx-100*d.ExpectedSendProb()) > 1e-9 {
+		t.Fatalf("tx prediction %v", tx)
+	}
+}
+
+func TestTheorem44Bound(t *testing.T) {
+	// For c <= 2 the denominator uses 8: bound = log²n/(8·log(n/D)).
+	n, D := 1<<16, 1<<8
+	got := Theorem44Bound(n, D, 1)
+	want := 16.0 * 16 / (8 * 8)
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("bound %v, want %v", got, want)
+	}
+	// For large c the denominator switches to 4c.
+	got2 := Theorem44Bound(n, D, 10)
+	want2 := 16.0 * 16 / (40 * 8)
+	if math.Abs(got2-want2) > 1e-9 {
+		t.Fatalf("bound(c=10) %v, want %v", got2, want2)
+	}
+}
+
+func TestAlphaSitsNearTheorem44Bound(t *testing.T) {
+	// The reason Algorithm 3 is optimal: its expected per-node energy over a
+	// Θ(log² n) window is Θ(log² n/λ), within a constant of Theorem44Bound.
+	n, D := 1<<14, 1<<7
+	d := dist.NewAlphaForDiameter(n, D)
+	window := 14 * 14 // log²n
+	predicted := Fig2PredictedTxPerActiveNode(d, window)
+	bound := Theorem44Bound(n, D, 1)
+	ratio := predicted / bound
+	if ratio < 0.2 || ratio > 20 {
+		t.Fatalf("alpha energy %v vs Thm4.4 bound %v (ratio %v)", predicted, bound, ratio)
+	}
+}

@@ -1,0 +1,120 @@
+package radio
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+)
+
+// parallelDeliverer is the sharded delivery kernel: transmitters are split
+// among workers that accumulate hit counts with atomic adds, then a second
+// pass (also sharded by transmitter) collects the uniquely-hit receivers.
+//
+// In the second pass a worker that resolves a receiver claims it by CASing
+// the counter to zero — which doubles as the reset, so no third pass is
+// needed. A receiver with hits == 1 has exactly one transmitter pointing at
+// it (one claimant); a collided receiver is claimed by whichever of its
+// transmitters' workers wins the CAS, and the losers observe 0 and skip.
+// Results are sorted before returning, which makes the parallel kernel
+// bit-identical to the serial one.
+//
+// This exists for large-graph throughput (the X4 engine experiment); the
+// experiment harness otherwise parallelises across independent trials,
+// which is the better granularity for sweeps.
+type parallelDeliverer struct {
+	hits    []int32
+	workers int
+}
+
+func newParallelDeliverer(n, workers int) *parallelDeliverer {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &parallelDeliverer{hits: make([]int32, n), workers: workers}
+}
+
+func (pd *parallelDeliverer) deliver(g *graph.Digraph, transmitters []graph.NodeID, informed []bool) (delivered []graph.NodeID, collisions int) {
+	w := pd.workers
+	if len(transmitters) < 4*w {
+		// Not worth fanning out; reuse the serial algorithm on our buffer.
+		st := deliveryState{hits: pd.hits}
+		return st.deliver(g, transmitters, informed)
+	}
+
+	// Pass 1: count hits.
+	var wg sync.WaitGroup
+	chunk := (len(transmitters) + w - 1) / w
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		if lo >= len(transmitters) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(transmitters) {
+			hi = len(transmitters)
+		}
+		wg.Add(1)
+		go func(txs []graph.NodeID) {
+			defer wg.Done()
+			for _, u := range txs {
+				for _, t := range g.Out(u) {
+					atomic.AddInt32(&pd.hits[t], 1)
+				}
+			}
+		}(transmitters[lo:hi])
+	}
+	wg.Wait()
+
+	// Pass 2: claim uniquely-hit receivers and count collisions. Claiming
+	// CASes the counter back to zero, so the array is fully reset when the
+	// pass completes (no increments happen concurrently with this pass).
+	results := make([][]graph.NodeID, w)
+	collCounts := make([]int, w)
+	for i := 0; i < w; i++ {
+		lo := i * chunk
+		if lo >= len(transmitters) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(transmitters) {
+			hi = len(transmitters)
+		}
+		wg.Add(1)
+		go func(idx int, txs []graph.NodeID) {
+			defer wg.Done()
+			var local []graph.NodeID
+			coll := 0
+			for _, u := range txs {
+				for _, t := range g.Out(u) {
+					h := atomic.LoadInt32(&pd.hits[t])
+					switch {
+					case h == 1:
+						if atomic.CompareAndSwapInt32(&pd.hits[t], 1, 0) {
+							if !informed[t] {
+								local = append(local, t)
+							}
+						}
+					case h >= 2:
+						// Whichever worker wins the CAS accounts for the
+						// collision; losers observe 0 and skip.
+						if atomic.CompareAndSwapInt32(&pd.hits[t], h, 0) {
+							coll++
+						}
+					}
+				}
+			}
+			results[idx] = local
+			collCounts[idx] = coll
+		}(i, transmitters[lo:hi])
+	}
+	wg.Wait()
+
+	for i := 0; i < w; i++ {
+		delivered = append(delivered, results[i]...)
+		collisions += collCounts[i]
+	}
+	sortNodeIDs(delivered)
+	return delivered, collisions
+}

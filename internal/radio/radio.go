@@ -1,0 +1,477 @@
+// Package radio implements the synchronous radio-network model of §1.2 of
+// the paper as a discrete-round simulator.
+//
+// Model semantics, implemented literally:
+//
+//   - Time proceeds in synchronous rounds 1, 2, 3, ...
+//   - In each round every informed node locally decides whether to transmit.
+//   - A node v receives a message in a round iff exactly ONE of its
+//     in-neighbours transmits in that round. If two or more transmit, the
+//     messages collide and v hears nothing; v cannot even detect the
+//     collision.
+//   - By default a transmitting node cannot simultaneously receive
+//     (half-duplex radios); Options.FullDuplex disables this.
+//   - Nodes know n (and protocol parameters like p or D) but nothing about
+//     the topology.
+//
+// The engine accounts energy as the paper does: the total number of
+// transmissions and the per-node transmission counts.
+package radio
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// Broadcaster is a broadcast protocol driven by the engine. Implementations
+// hold all per-node protocol state (active/passive, informing times, ...).
+//
+// The engine guarantees:
+//   - Begin is called exactly once per run, before any other method.
+//   - OnInformed(0, src) is called for the source before round 1.
+//   - BeginRound(r) is called once at the start of round r = 1, 2, ...
+//   - ShouldTransmit(r, v) is called exactly once per round for every
+//     informed node v, in increasing node order.
+//   - OnInformed(r, v) is called at the end of round r for every node v
+//     that received the message for the first time in round r.
+//
+// To keep protocols oblivious (as the paper requires), Begin receives only
+// the network size, never the topology.
+type Broadcaster interface {
+	// Name identifies the protocol in results and tables.
+	Name() string
+	// Begin resets protocol state for a fresh run on an n-node network.
+	// All protocol randomness must come from r.
+	Begin(n int, src graph.NodeID, r *rng.RNG)
+	// BeginRound announces the start of round `round` (1-based). Protocols
+	// that draw a shared per-round value (like Algorithm 3's selection
+	// sequence I_r) do it here.
+	BeginRound(round int)
+	// ShouldTransmit reports whether informed node v transmits this round.
+	ShouldTransmit(round int, v graph.NodeID) bool
+	// OnInformed tells the protocol that v received the message for the
+	// first time at the end of `round` (0 for the source).
+	OnInformed(round int, v graph.NodeID)
+	// Quiesced reports that the protocol will never transmit again (all
+	// nodes passive); the engine then stops early. `round` is the round
+	// that just finished.
+	Quiesced(round int) bool
+}
+
+// Options configures a simulation run (one session segment).
+type Options struct {
+	// MaxRounds caps the segment length. Required (> 0).
+	MaxRounds int
+	// FullDuplex lets a transmitting node receive in the same round.
+	// Default false: half-duplex radios, as standard in the literature.
+	FullDuplex bool
+	// Target is the informed-node count at which InformedRound is recorded.
+	// 0 means g.N(). The run continues past the target until the protocol
+	// quiesces or MaxRounds elapses, so that energy is accounted for the
+	// full protocol schedule (nodes cannot know the broadcast completed).
+	Target int
+	// StopWhenInformed stops the run as soon as Target is reached. Use for
+	// time-only measurements where trailing energy is not of interest.
+	StopWhenInformed bool
+	// RecordHistory captures per-round statistics in Result.History.
+	RecordHistory bool
+	// Parallel selects the sharded parallel delivery kernel (see
+	// parallel.go). Results are identical to the serial kernel.
+	Parallel bool
+	// Workers is the parallel kernel's worker count (0 = GOMAXPROCS).
+	Workers int
+	// LossProb is the per-edge fading probability: each (transmitter,
+	// receiver) delivery is independently lost with this probability, in
+	// which case the signal neither delivers nor interferes at that
+	// receiver (a faded signal is below the detection threshold). Supported
+	// by the serial kernel only.
+	LossProb float64
+	// Jammed, when non-nil, returns the receivers whose channel is occupied
+	// by external interference in the given round: a jammed node cannot
+	// receive that round (the noise collides with any transmission).
+	Jammed func(round int) []graph.NodeID
+	// Tracer, when non-nil, receives per-event callbacks (see Tracer). Use
+	// internal/trace for ready-made recorders.
+	Tracer Tracer
+}
+
+// Tracer observes engine events for debugging and visualisation. Callbacks
+// run synchronously inside the round loop; keep them cheap.
+type Tracer interface {
+	// RoundStart fires at the beginning of every simulated round.
+	RoundStart(round int)
+	// Transmit fires for every transmission decision.
+	Transmit(round int, v graph.NodeID)
+	// Deliver fires for every first-time reception.
+	Deliver(round int, v graph.NodeID)
+	// RoundEnd fires after delivery with the round's aggregate counts.
+	RoundEnd(round, transmitters, delivered, collisions int)
+}
+
+func (o Options) validate() error {
+	if o.MaxRounds <= 0 {
+		return fmt.Errorf("radio: MaxRounds must be positive, got %d", o.MaxRounds)
+	}
+	if o.Target < 0 {
+		return fmt.Errorf("radio: negative Target %d", o.Target)
+	}
+	if o.LossProb < 0 || o.LossProb >= 1 {
+		return fmt.Errorf("radio: LossProb %v outside [0,1)", o.LossProb)
+	}
+	if o.LossProb > 0 && o.Parallel {
+		return fmt.Errorf("radio: the loss model is supported by the serial kernel only")
+	}
+	return nil
+}
+
+// RoundStat is one row of a run's history.
+type RoundStat struct {
+	Round         int
+	Transmitters  int
+	NewlyInformed int
+	Informed      int // cumulative, end of round
+	Collisions    int // nodes that heard >= 2 transmitters this round
+}
+
+// Result summarises one broadcast run.
+type Result struct {
+	Protocol      string
+	Rounds        int   // rounds actually executed
+	InformedRound int   // first round with Informed >= Target; -1 if never
+	Informed      int   // final informed count
+	TotalTx       int64 // total transmissions over the whole run
+	MaxNodeTx     int   // maximum transmissions by any single node
+	PerNodeTx     []int32
+	Collisions    int64
+	History       []RoundStat // non-nil iff Options.RecordHistory
+}
+
+// Completed reports whether the target informed count was reached.
+func (r *Result) Completed() bool { return r.InformedRound >= 0 }
+
+// TxPerNode returns the mean transmissions per node.
+func (r *Result) TxPerNode() float64 {
+	return float64(r.TotalTx) / float64(len(r.PerNodeTx))
+}
+
+// BroadcastSession carries broadcast state — the informed set, the protocol
+// instance, the round clock, and the energy accounting — across multiple Run
+// segments, so the topology may change between segments. This models the
+// paper's mobile-network setting (§1: "due to the mobility of the nodes, the
+// network topology changes over time"): the oblivious protocols never see
+// the graph, so their state is meaningful across re-wirings.
+type BroadcastSession struct {
+	n       int
+	proto   Broadcaster
+	channel *rng.RNG // fading-loss randomness, separate from protocol RNG
+
+	informed     []bool
+	informedList []graph.NodeID
+	rounds       int // absolute round clock across segments
+	quiesced     bool
+
+	totalTx    int64
+	perNodeTx  []int32
+	collisions int64
+
+	reachedAt map[int]int // target count -> absolute round first reached
+
+	st  *deliveryState
+	par *parallelDeliverer
+}
+
+// NewBroadcastSession starts a session: protocol p is initialised for an
+// n-node network with the given source already informed (at round 0).
+func NewBroadcastSession(n int, src graph.NodeID, p Broadcaster, protoRNG *rng.RNG) *BroadcastSession {
+	if n < 1 {
+		panic("radio: broadcast session needs n >= 1")
+	}
+	if src < 0 || int(src) >= n {
+		panic("radio: source out of range")
+	}
+	s := &BroadcastSession{
+		n:         n,
+		proto:     p,
+		informed:  make([]bool, n),
+		perNodeTx: make([]int32, n),
+		reachedAt: map[int]int{},
+		st:        newDeliveryState(n),
+	}
+	p.Begin(n, src, protoRNG)
+	s.channel = protoRNG.Split(0xc4a881e1)
+	s.informed[src] = true
+	s.informedList = append(s.informedList, src)
+	p.OnInformed(0, src)
+	return s
+}
+
+// Informed returns the current informed-node count.
+func (s *BroadcastSession) Informed() int { return len(s.informedList) }
+
+// Rounds returns the absolute round clock.
+func (s *BroadcastSession) Rounds() int { return s.rounds }
+
+// Quiesced reports whether the protocol has retired every node.
+func (s *BroadcastSession) Quiesced() bool { return s.quiesced }
+
+// IsInformed reports whether node v has received the message.
+func (s *BroadcastSession) IsInformed(v graph.NodeID) bool { return s.informed[v] }
+
+// Run executes up to opt.MaxRounds further rounds on graph g (which must
+// have the session's node count but may differ from previous segments'
+// graphs). The returned Result reflects the cumulative session state;
+// Result.Rounds is the absolute round clock and Result.History (if
+// recorded) covers this segment only.
+func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
+	if err := opt.validate(); err != nil {
+		panic(err)
+	}
+	if g.N() != s.n {
+		panic("radio: graph size does not match broadcast session")
+	}
+	target := opt.Target
+	if target == 0 {
+		target = s.n
+	}
+	if opt.Parallel && s.par == nil {
+		s.par = newParallelDeliverer(s.n, opt.Workers)
+	}
+
+	res := &Result{Protocol: s.proto.Name(), InformedRound: -1}
+	recordTarget := func() {
+		if _, ok := s.reachedAt[target]; !ok && len(s.informedList) >= target {
+			s.reachedAt[target] = s.rounds
+		}
+	}
+	recordTarget()
+	if opt.RecordHistory {
+		res.History = append(res.History, RoundStat{Round: s.rounds, Informed: len(s.informedList)})
+	}
+
+	transmitters := make([]graph.NodeID, 0, s.n)
+	_, alreadyDone := s.reachedAt[target]
+	for seg := 1; seg <= opt.MaxRounds && !s.quiesced && !(opt.StopWhenInformed && alreadyDone); seg++ {
+		s.rounds++
+		round := s.rounds
+		s.proto.BeginRound(round)
+		if opt.Tracer != nil {
+			opt.Tracer.RoundStart(round)
+		}
+
+		// Decision phase: informedList is in informing order; iterate a
+		// stable order so protocol RNG consumption is deterministic.
+		transmitters = transmitters[:0]
+		for _, v := range s.informedList {
+			if s.proto.ShouldTransmit(round, v) {
+				transmitters = append(transmitters, v)
+				s.perNodeTx[v]++
+				if opt.Tracer != nil {
+					opt.Tracer.Transmit(round, v)
+				}
+			}
+		}
+		s.totalTx += int64(len(transmitters))
+
+		// Delivery phase. (Half- vs full-duplex is immaterial for broadcast:
+		// every transmitter is already informed, so it can never be a first-
+		// time receiver. The distinction matters for gossip; see gossip.go.)
+		var delivered []graph.NodeID
+		var collisions int
+		if opt.Parallel {
+			delivered, collisions = s.par.deliver(g, transmitters, s.informed)
+		} else if opt.LossProb > 0 {
+			delivered, collisions = s.st.deliverLossy(g, transmitters, s.informed, opt.LossProb, s.channel)
+		} else {
+			delivered, collisions = s.st.deliver(g, transmitters, s.informed)
+		}
+		if opt.Jammed != nil {
+			delivered = dropJammed(delivered, opt.Jammed(round))
+		}
+		s.collisions += int64(collisions)
+
+		for _, v := range delivered {
+			s.informed[v] = true
+			s.informedList = append(s.informedList, v)
+			s.proto.OnInformed(round, v)
+			if opt.Tracer != nil {
+				opt.Tracer.Deliver(round, v)
+			}
+		}
+		if opt.Tracer != nil {
+			opt.Tracer.RoundEnd(round, len(transmitters), len(delivered), collisions)
+		}
+
+		if opt.RecordHistory {
+			res.History = append(res.History, RoundStat{
+				Round:         round,
+				Transmitters:  len(transmitters),
+				NewlyInformed: len(delivered),
+				Informed:      len(s.informedList),
+				Collisions:    collisions,
+			})
+		}
+		recordTarget()
+		if opt.StopWhenInformed {
+			if _, ok := s.reachedAt[target]; ok {
+				break
+			}
+		}
+		if s.proto.Quiesced(round) {
+			s.quiesced = true
+		}
+	}
+
+	res.Rounds = s.rounds
+	res.Informed = len(s.informedList)
+	res.TotalTx = s.totalTx
+	res.Collisions = s.collisions
+	res.PerNodeTx = append([]int32(nil), s.perNodeTx...)
+	if at, ok := s.reachedAt[target]; ok {
+		res.InformedRound = at
+	}
+	for _, c := range res.PerNodeTx {
+		if int(c) > res.MaxNodeTx {
+			res.MaxNodeTx = int(c)
+		}
+	}
+	return res
+}
+
+// dropJammed removes jammed receivers from the delivered list, preserving
+// order. Both inputs are small; jammed lists are scanned linearly.
+func dropJammed(delivered, jammed []graph.NodeID) []graph.NodeID {
+	if len(jammed) == 0 || len(delivered) == 0 {
+		return delivered
+	}
+	out := delivered[:0]
+	for _, v := range delivered {
+		hit := false
+		for _, j := range jammed {
+			if j == v {
+				hit = true
+				break
+			}
+		}
+		if !hit {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// RunBroadcast simulates protocol p broadcasting from src on a static graph
+// g: a fresh single-segment session. The run is a pure function of (g, src,
+// p's parameters, seed of protoRNG): repeated runs with equal inputs produce
+// identical Results.
+func RunBroadcast(g *graph.Digraph, src graph.NodeID, p Broadcaster, protoRNG *rng.RNG, opt Options) *Result {
+	return NewBroadcastSession(g.N(), src, p, protoRNG).Run(g, opt)
+}
+
+// deliveryState holds the reusable scratch arrays of the serial delivery
+// kernel: a hit counter and last-sender record per node, plus the list of
+// touched nodes so that resetting costs O(touched), not O(n).
+type deliveryState struct {
+	hits    []int32
+	touched []graph.NodeID
+}
+
+func newDeliveryState(n int) *deliveryState {
+	return &deliveryState{hits: make([]int32, n)}
+}
+
+// deliver applies the collision rule for one round: every out-neighbour of a
+// transmitter gets a hit; nodes with exactly one hit receive. Returns the
+// newly informed nodes (in increasing id order) and the number of nodes that
+// experienced a collision (>= 2 hits).
+func (st *deliveryState) deliver(g *graph.Digraph, transmitters []graph.NodeID, informed []bool) (delivered []graph.NodeID, collisions int) {
+	st.touched = st.touched[:0]
+	for _, u := range transmitters {
+		for _, w := range g.Out(u) {
+			if st.hits[w] == 0 {
+				st.touched = append(st.touched, w)
+			}
+			st.hits[w]++
+		}
+	}
+	for _, w := range st.touched {
+		h := st.hits[w]
+		st.hits[w] = 0
+		if h >= 2 {
+			collisions++
+			continue
+		}
+		// h == 1: successful reception unless w already knows the message.
+		if informed[w] {
+			continue
+		}
+		delivered = append(delivered, w)
+	}
+	sortNodeIDs(delivered)
+	return delivered, collisions
+}
+
+// deliverLossy is deliver with per-edge fading: each (transmitter, receiver)
+// delivery is independently lost with probability loss, in which case the
+// signal neither delivers nor interferes at that receiver. Channel
+// randomness comes from the session's dedicated stream so protocol RNG
+// consumption is unaffected.
+func (st *deliveryState) deliverLossy(g *graph.Digraph, transmitters []graph.NodeID, informed []bool, loss float64, channel *rng.RNG) (delivered []graph.NodeID, collisions int) {
+	st.touched = st.touched[:0]
+	for _, u := range transmitters {
+		for _, w := range g.Out(u) {
+			if channel.Bernoulli(loss) {
+				continue // faded below detection threshold
+			}
+			if st.hits[w] == 0 {
+				st.touched = append(st.touched, w)
+			}
+			st.hits[w]++
+		}
+	}
+	for _, w := range st.touched {
+		h := st.hits[w]
+		st.hits[w] = 0
+		if h >= 2 {
+			collisions++
+			continue
+		}
+		if informed[w] {
+			continue
+		}
+		delivered = append(delivered, w)
+	}
+	sortNodeIDs(delivered)
+	return delivered, collisions
+}
+
+// sortNodeIDs sorts a small slice of node ids in place (insertion sort for
+// short slices, which dominate; falls back to a simple quicksort).
+func sortNodeIDs(xs []graph.NodeID) {
+	if len(xs) < 24 {
+		for i := 1; i < len(xs); i++ {
+			for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+				xs[j], xs[j-1] = xs[j-1], xs[j]
+			}
+		}
+		return
+	}
+	pivot := xs[len(xs)/2]
+	lt, i, gt := 0, 0, len(xs)
+	for i < gt {
+		switch {
+		case xs[i] < pivot:
+			xs[i], xs[lt] = xs[lt], xs[i]
+			lt++
+			i++
+		case xs[i] > pivot:
+			gt--
+			xs[i], xs[gt] = xs[gt], xs[i]
+		default:
+			i++
+		}
+	}
+	sortNodeIDs(xs[:lt])
+	sortNodeIDs(xs[gt:])
+}

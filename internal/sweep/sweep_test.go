@@ -1,0 +1,176 @@
+package sweep
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestRunTrialsDeterministicAcrossWorkerCounts(t *testing.T) {
+	fn := func(tr Trial) Metrics {
+		r := rng.New(tr.Seed)
+		return Metrics{"x": r.Float64(), "idx": float64(tr.Index)}
+	}
+	serial := RunTrials(64, 7, 1, fn)
+	parallel := RunTrials(64, 7, 8, fn)
+	for i := range serial["x"] {
+		if serial["x"][i] != parallel["x"][i] {
+			t.Fatalf("trial %d differs across worker counts", i)
+		}
+		if serial["idx"][i] != float64(i) {
+			t.Fatalf("trial order broken at %d", i)
+		}
+	}
+}
+
+func TestRunTrialsAllTrialsExecute(t *testing.T) {
+	var count int64
+	RunTrials(100, 1, 4, func(tr Trial) Metrics {
+		atomic.AddInt64(&count, 1)
+		return Metrics{"one": 1}
+	})
+	if count != 100 {
+		t.Fatalf("ran %d trials", count)
+	}
+}
+
+func TestRunTrialsSeedsDistinct(t *testing.T) {
+	out := RunTrials(50, 3, 4, func(tr Trial) Metrics {
+		return Metrics{"seed": float64(tr.Seed % (1 << 52))}
+	})
+	seen := map[float64]bool{}
+	for _, s := range out["seed"] {
+		if seen[s] {
+			t.Fatal("duplicate trial seed")
+		}
+		seen[s] = true
+	}
+}
+
+func TestRunTrialsMissingMetricBecomesNaN(t *testing.T) {
+	out := RunTrials(4, 1, 2, func(tr Trial) Metrics {
+		m := Metrics{"always": 1}
+		if tr.Index == 2 {
+			m["sometimes"] = 5
+		}
+		return m
+	})
+	if len(out["sometimes"]) != 4 {
+		t.Fatal("length mismatch")
+	}
+	for i, v := range out["sometimes"] {
+		if i == 2 && v != 5 {
+			t.Fatalf("trial 2 value %v", v)
+		}
+		if i != 2 && !math.IsNaN(v) {
+			t.Fatalf("trial %d should be NaN, got %v", i, v)
+		}
+	}
+	if got := MeanOf(out, "sometimes"); got != 5 {
+		t.Fatalf("MeanOf skipping NaN = %v", got)
+	}
+}
+
+func TestRunTrialsPanicsOnZeroTrials(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	RunTrials(0, 1, 1, func(Trial) Metrics { return nil })
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tb := NewTable("Demo", "n", "rounds")
+	tb.AddRow("1024", "17")
+	tb.AddRow("2048", "19")
+	tb.Note = "note line"
+	md := tb.Markdown()
+	for _, want := range []string{"### Demo", "| n ", "| rounds |", "| 1024 |", "note line"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	// Heading, blank, header, separator, 2 rows, blank, note.
+	if len(lines) != 8 {
+		t.Fatalf("markdown has %d lines:\n%s", len(lines), md)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("x,y", "plain")
+	tb.AddRow(`quo"te`, "2")
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"x,y",plain`) {
+		t.Fatalf("comma cell not quoted: %s", csv)
+	}
+	if !strings.Contains(csv, `"quo""te",2`) {
+		t.Fatalf("quote cell not escaped: %s", csv)
+	}
+	if !strings.HasPrefix(csv, "a,b\n") {
+		t.Fatalf("csv header: %s", csv)
+	}
+}
+
+func TestTablePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"no columns": func() { NewTable("x") },
+		"bad row":    func() { NewTable("x", "a", "b").AddRow("1") },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestFormatF(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{3, "3"}, {3.14159, "3.14"}, {0.000123456, "0.000123"},
+		{1e6, "1000000"}, {math.NaN(), "NaN"},
+	}
+	for _, c := range cases {
+		if got := F(c.v); got != c.want {
+			t.Fatalf("F(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+	if FInt(42) != "42" {
+		t.Fatal("FInt")
+	}
+}
+
+func TestRateOf(t *testing.T) {
+	out := map[string][]float64{"ok": {1, 0, 1, 1}}
+	if got := RateOf(out, "ok"); got != 0.75 {
+		t.Fatalf("RateOf = %v", got)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	out := map[string][]float64{"b": nil, "a": nil, "c": nil}
+	keys := SortedKeys(out)
+	if len(keys) != 3 || keys[0] != "a" || keys[2] != "c" {
+		t.Fatalf("keys %v", keys)
+	}
+}
+
+func TestMeanOfPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for unknown metric")
+		}
+	}()
+	MeanOf(map[string][]float64{}, "missing")
+}
