@@ -13,8 +13,10 @@ package repro
 import (
 	"math"
 	"strconv"
+	"sync"
 	"testing"
 
+	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/expt"
 	"repro/internal/graph"
@@ -177,6 +179,114 @@ func BenchmarkPrimitiveGNPGeneration(b *testing.B) {
 		graph.GNPDirected(n, p, r)
 	}
 }
+
+// bigGNP caches the n=262144 G(n,p) instance across benchmark counts (it
+// takes seconds to generate and none of the benchmarks mutate it).
+var bigGNP struct {
+	once sync.Once
+	g    *graph.Digraph
+	p    float64
+}
+
+func bigGNPGraph() (*graph.Digraph, float64) {
+	bigGNP.once.Do(func() {
+		n := 262144
+		bigGNP.p = 8 * math.Log(float64(n)) / float64(n)
+		bigGNP.g = graph.GNPDirected(n, bigGNP.p, rng.New(1))
+	})
+	return bigGNP.g, bigGNP.p
+}
+
+func BenchmarkPrimitiveAlgorithm1Run262144(b *testing.B) {
+	g, p := bigGNPGraph()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radio.RunBroadcast(g, 0, core.NewAlgorithm1(p), rng.New(uint64(i)),
+			radio.Options{MaxRounds: 10000})
+	}
+}
+
+// --- decision-phase isolation: one Bernoulli round over a fully informed
+// network, batch (geometric-skip) vs scalar (per-node membership loop).
+// Per-op is per simulated round; the batch path's cost is O(nq), the
+// scalar path's O(n).
+
+func benchDecisionPhase(b *testing.B, n int, batch bool) {
+	q := 16.0 / float64(n) // ~16 transmitters per round
+	f := &baseline.FixedProb{Q: q}
+	f.Begin(n, 0, rng.New(1))
+	informed := make([]graph.NodeID, n)
+	for i := range informed {
+		informed[i] = graph.NodeID(i)
+		f.OnInformed(0, graph.NodeID(i))
+	}
+	dst := make([]graph.NodeID, 0, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for r := 1; r <= b.N; r++ {
+		f.BeginRound(r)
+		dst = dst[:0]
+		if batch {
+			dst = f.AppendTransmitters(r, informed, dst)
+		} else {
+			for _, v := range informed {
+				if f.ShouldTransmit(r, v) {
+					dst = append(dst, v)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkPrimitiveDecisionBatch4096(b *testing.B)    { benchDecisionPhase(b, 4096, true) }
+func BenchmarkPrimitiveDecisionScalar4096(b *testing.B)   { benchDecisionPhase(b, 4096, false) }
+func BenchmarkPrimitiveDecisionBatch262144(b *testing.B)  { benchDecisionPhase(b, 262144, true) }
+func BenchmarkPrimitiveDecisionScalar262144(b *testing.B) { benchDecisionPhase(b, 262144, false) }
+
+// --- delivery-phase isolation: a fixed transmitter set pulsing every round
+// through the engine on a large G(n,p); after the first rounds everyone is
+// informed, so per-op measures the steady-state delivery kernel (hit
+// counting, collision resolution, scratch reuse) with a ~42k-edge round.
+
+type pulseSet struct {
+	txs  []graph.NodeID
+	isTx []bool
+}
+
+func (p *pulseSet) Name() string { return "pulse-set" }
+func (p *pulseSet) Begin(n int, _ graph.NodeID, _ *rng.RNG) {
+	// The set is round-invariant, so membership (scalar path) and the batch
+	// copy agree — the shared-draw contract without any per-round draw.
+	p.isTx = make([]bool, n)
+	for _, v := range p.txs {
+		p.isTx[v] = true
+	}
+}
+func (p *pulseSet) BeginRound(int)                            {}
+func (p *pulseSet) ShouldTransmit(_ int, v graph.NodeID) bool { return p.isTx[v] }
+func (p *pulseSet) OnInformed(int, graph.NodeID)              {}
+func (p *pulseSet) Quiesced(int) bool                         { return false }
+func (p *pulseSet) AppendTransmitters(_ int, _ []graph.NodeID, dst []graph.NodeID) []graph.NodeID {
+	return append(dst, p.txs...)
+}
+
+func benchDeliveryPhase(b *testing.B, parallel bool) {
+	n := 1 << 15
+	p := 8 * math.Log(float64(n)) / float64(n)
+	g := graph.GNPDirected(n, p, rng.New(17))
+	txs := make([]graph.NodeID, 0, n/64)
+	for v := 0; v < n; v += 64 {
+		txs = append(txs, graph.NodeID(v))
+	}
+	sess := radio.NewBroadcastSession(n, 0, &pulseSet{txs: txs}, rng.New(18))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sess.Run(g, radio.Options{MaxRounds: b.N, Parallel: parallel})
+}
+
+func BenchmarkPrimitiveDeliverySerial(b *testing.B)   { benchDeliveryPhase(b, false) }
+func BenchmarkPrimitiveDeliveryParallel(b *testing.B) { benchDeliveryPhase(b, true) }
 
 func BenchmarkX5Adversity(b *testing.B) { runExperiment(b, "X5", "", "") }
 func BenchmarkX6Mobility(b *testing.B)  { runExperiment(b, "X6", "", "") }

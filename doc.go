@@ -25,4 +25,11 @@
 // The package tree under internal/ is the implementation: core (the paper's
 // algorithms), radio (the round engine), graph, dist, baseline, lowerbound,
 // stats, sweep, expt, rng.
+//
+// The engine's hot path is vectorised: protocols implementing
+// radio.BatchBroadcaster (all Bernoulli-phase protocols here do) hand the
+// engine their whole per-round transmitter set in one call, drawn by
+// geometric-skip sampling in O(transmitters) instead of one RNG flip per
+// informed node — bit-identical to the scalar path under the shared-draw
+// contract (see README.md and the radio package docs).
 package repro

@@ -29,6 +29,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/radio"
 	"repro/internal/rng"
 )
 
@@ -46,6 +47,12 @@ func (Flood) BeginRound(int) {}
 
 // ShouldTransmit implements radio.Broadcaster.
 func (Flood) ShouldTransmit(int, graph.NodeID) bool { return true }
+
+// AppendTransmitters implements radio.BatchBroadcaster: every informed node
+// transmits, so the batch path is a straight copy of the informed list.
+func (Flood) AppendTransmitters(_ int, informed []graph.NodeID, dst []graph.NodeID) []graph.NodeID {
+	return append(dst, informed...)
+}
 
 // OnInformed implements radio.Broadcaster.
 func (Flood) OnInformed(int, graph.NodeID) {}
@@ -67,7 +74,8 @@ type FixedProb struct {
 	r          *rng.RNG
 	informedN  int
 	retiredN   int
-	retired    []bool
+	queue      radio.WindowQueue // informed, window not yet expired
+	txs        radio.TxSet       // this round's transmitters (shared-draw set)
 }
 
 // Name implements radio.Broadcaster.
@@ -82,30 +90,39 @@ func (f *FixedProb) Begin(n int, src graph.NodeID, r *rng.RNG) {
 	for i := range f.informedAt {
 		f.informedAt[i] = -1
 	}
-	f.retired = make([]bool, n)
+	f.queue.Reset()
+	f.txs.Reset(n)
 	f.informedN, f.retiredN = 0, 0
 	f.r = r
 }
 
-// BeginRound implements radio.Broadcaster.
-func (f *FixedProb) BeginRound(int) {}
+// BeginRound implements radio.Broadcaster: expire windows at the queue head
+// and draw the round's Bernoulli(Q) transmitter set once, shared by the
+// scalar and batch decision paths.
+func (f *FixedProb) BeginRound(round int) {
+	if f.Window > 0 {
+		f.retiredN += f.queue.Expire(f.informedAt, f.Window, round)
+	}
+	f.txs.BeginRound()
+	f.txs.DrawList(f.r, f.queue.Live(), f.Q, round)
+}
 
 // OnInformed implements radio.Broadcaster.
 func (f *FixedProb) OnInformed(round int, v graph.NodeID) {
 	f.informedAt[v] = round
 	f.informedN++
+	f.queue.Push(v)
 }
 
-// ShouldTransmit implements radio.Broadcaster.
+// ShouldTransmit implements radio.Broadcaster: membership in the round's
+// pre-drawn transmitter set.
 func (f *FixedProb) ShouldTransmit(round int, v graph.NodeID) bool {
-	if f.Window > 0 && round > f.informedAt[v]+f.Window {
-		if !f.retired[v] {
-			f.retired[v] = true
-			f.retiredN++
-		}
-		return false
-	}
-	return f.r.Bernoulli(f.Q)
+	return f.txs.Contains(v, round)
+}
+
+// AppendTransmitters implements radio.BatchBroadcaster.
+func (f *FixedProb) AppendTransmitters(round int, _ []graph.NodeID, dst []graph.NodeID) []graph.NodeID {
+	return f.txs.AppendTo(dst)
 }
 
 // Quiesced implements radio.Broadcaster.
@@ -242,7 +259,10 @@ type ElsasserGasieniec struct {
 	p3prob     float64
 	phase3To   int
 	informedAt []int
-	r          *rng.RNG
+	all      []graph.NodeID // every informed node, informing order
+	eligible []graph.NodeID // informed during Phases 1-2 (rounds <= diam)
+	txs      radio.TxSet    // this round's transmitters (shared-draw set)
+	r        *rng.RNG
 }
 
 // NewElsasserGasieniec returns the protocol for edge probability p.
@@ -284,33 +304,47 @@ func (e *ElsasserGasieniec) Begin(n int, src graph.NodeID, r *rng.RNG) {
 	for i := range e.informedAt {
 		e.informedAt[i] = -1
 	}
+	e.all = e.all[:0]
+	e.eligible = e.eligible[:0]
+	e.txs.Reset(n)
 }
 
-// BeginRound implements radio.Broadcaster.
-func (e *ElsasserGasieniec) BeginRound(int) {}
+// BeginRound implements radio.Broadcaster: draw the round's transmitter set
+// once (flood, one Bernoulli shot, or the Phase-3 trickle over the nodes
+// informed in Phases 1–2), shared by the scalar and batch decision paths.
+func (e *ElsasserGasieniec) BeginRound(round int) {
+	e.txs.BeginRound()
+	switch {
+	case round <= e.diam-1:
+		// Phase 1: flood — every informed node transmits.
+		e.txs.AddAll(e.all, round)
+	case round == e.diam:
+		e.txs.DrawList(e.r, e.all, e.p2prob, round)
+	case round <= e.phase3To:
+		// Phase 3: only nodes informed during Phases 1–2 participate
+		// (Phase 2 is round e.diam, so informedAt <= e.diam qualifies).
+		e.txs.DrawList(e.r, e.eligible, e.p3prob, round)
+	}
+}
 
 // OnInformed implements radio.Broadcaster.
 func (e *ElsasserGasieniec) OnInformed(round int, v graph.NodeID) {
 	e.informedAt[v] = round
+	e.all = append(e.all, v)
+	if round <= e.diam {
+		e.eligible = append(e.eligible, v)
+	}
 }
 
-// ShouldTransmit implements radio.Broadcaster.
+// ShouldTransmit implements radio.Broadcaster: membership in the round's
+// pre-drawn transmitter set.
 func (e *ElsasserGasieniec) ShouldTransmit(round int, v graph.NodeID) bool {
-	switch {
-	case round <= e.diam-1:
-		return true // Phase 1: flood
-	case round == e.diam:
-		return e.r.Bernoulli(e.p2prob)
-	case round <= e.phase3To:
-		// Phase 3: only nodes informed during Phases 1–2 participate
-		// (Phase 2 is round e.diam, so informedAt <= e.diam qualifies).
-		if e.informedAt[v] > e.diam {
-			return false
-		}
-		return e.r.Bernoulli(e.p3prob)
-	default:
-		return false
-	}
+	return e.txs.Contains(v, round)
+}
+
+// AppendTransmitters implements radio.BatchBroadcaster.
+func (e *ElsasserGasieniec) AppendTransmitters(round int, _ []graph.NodeID, dst []graph.NodeID) []graph.NodeID {
+	return e.txs.AppendTo(dst)
 }
 
 // Quiesced implements radio.Broadcaster.
@@ -348,12 +382,21 @@ func (t *TDMAGossip) ShouldTransmit(round int, v graph.NodeID) bool {
 	return int(v) == (round-1)%t.n
 }
 
+// AppendTransmitters implements radio.BatchGossiper: the schedule is
+// deterministic, so the batch path appends the round's single slot owner.
+func (t *TDMAGossip) AppendTransmitters(round int, dst []graph.NodeID) []graph.NodeID {
+	return append(dst, graph.NodeID((round-1)%t.n))
+}
+
 // UniformGossip transmits with a fixed probability q every round — the
 // Algorithm 2 shape with a configurable rate, used by gossip ablations
 // (Algorithm 2 itself is the q = 1/d instance).
 type UniformGossip struct {
 	Q float64
-	r *rng.RNG
+
+	n   int
+	r   *rng.RNG
+	txs radio.TxSet
 }
 
 // Name implements radio.Gossiper.
@@ -364,11 +407,25 @@ func (u *UniformGossip) Begin(n int, r *rng.RNG) {
 	if u.Q < 0 || u.Q > 1 {
 		panic("baseline: UniformGossip needs q in [0,1]")
 	}
+	u.n = n
 	u.r = r
+	u.txs.Reset(n)
 }
 
-// BeginRound implements radio.Gossiper.
-func (u *UniformGossip) BeginRound(int) {}
+// BeginRound implements radio.Gossiper: draw the round's Bernoulli(Q)
+// transmitter set once, shared by the scalar and batch decision paths.
+func (u *UniformGossip) BeginRound(round int) {
+	u.txs.BeginRound()
+	u.txs.DrawRange(u.r, u.n, u.Q, round)
+}
 
-// ShouldTransmit implements radio.Gossiper.
-func (u *UniformGossip) ShouldTransmit(int, graph.NodeID) bool { return u.r.Bernoulli(u.Q) }
+// ShouldTransmit implements radio.Gossiper: membership in the round's
+// pre-drawn transmitter set.
+func (u *UniformGossip) ShouldTransmit(round int, v graph.NodeID) bool {
+	return u.txs.Contains(v, round)
+}
+
+// AppendTransmitters implements radio.BatchGossiper.
+func (u *UniformGossip) AppendTransmitters(round int, dst []graph.NodeID) []graph.NodeID {
+	return u.txs.AppendTo(dst)
+}

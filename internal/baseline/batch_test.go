@@ -1,0 +1,88 @@
+package baseline
+
+// Batch-vs-scalar decision equivalence for the baseline protocols (see the
+// core package's batch_test.go for the paper's algorithms).
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+func TestBaselineBatchDecisionEquivalence(t *testing.T) {
+	g := graph.GNPDirected(512, 0.03, rng.New(1))
+	star := graph.Star(64)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Digraph
+		mk   func() radio.Broadcaster
+		opt  radio.Options
+	}{
+		{"flood", star, func() radio.Broadcaster { return Flood{} },
+			radio.Options{MaxRounds: 10}},
+		{"fixedprob", g, func() radio.Broadcaster { return &FixedProb{Q: 0.1} },
+			radio.Options{MaxRounds: 400}},
+		{"fixedprob-window", g, func() radio.Broadcaster { return &FixedProb{Q: 0.1, Window: 60} },
+			radio.Options{MaxRounds: 4000}},
+		{"elsasser-gasieniec", g, func() radio.Broadcaster { return NewElsasserGasieniec(0.03) },
+			radio.Options{MaxRounds: 4000}},
+		{"czumaj-rytter", g, func() radio.Broadcaster { return NewCzumajRytter(512, 8, 1) },
+			radio.Options{MaxRounds: 20000}},
+	} {
+		if _, ok := tc.mk().(radio.BatchBroadcaster); !ok {
+			t.Fatalf("%s does not implement radio.BatchBroadcaster", tc.name)
+		}
+		for seed := uint64(0); seed < 3; seed++ {
+			opt := tc.opt
+			opt.RecordHistory = true
+			batch := radio.RunBroadcast(tc.g, 0, tc.mk(), rng.New(seed), opt)
+			radio.SetEngineOverrides(true, false)
+			scalar := radio.RunBroadcast(tc.g, 0, tc.mk(), rng.New(seed), opt)
+			radio.SetEngineOverrides(false, false)
+			if batch.Rounds != scalar.Rounds || batch.InformedRound != scalar.InformedRound ||
+				batch.Informed != scalar.Informed || batch.TotalTx != scalar.TotalTx ||
+				batch.MaxNodeTx != scalar.MaxNodeTx || batch.Collisions != scalar.Collisions {
+				t.Fatalf("%s seed=%d: batch/scalar results diverge", tc.name, seed)
+			}
+			for i := range batch.PerNodeTx {
+				if batch.PerNodeTx[i] != scalar.PerNodeTx[i] {
+					t.Fatalf("%s seed=%d: per-node tx differ at node %d", tc.name, seed, i)
+				}
+			}
+			for i := range batch.History {
+				if batch.History[i] != scalar.History[i] {
+					t.Fatalf("%s seed=%d: history differs at %d", tc.name, seed, i)
+				}
+			}
+		}
+	}
+}
+
+func TestGossipBaselineBatchDecisionEquivalence(t *testing.T) {
+	g := graph.GNPDirected(128, 0.1, rng.New(2))
+	for _, tc := range []struct {
+		name string
+		mk   func() radio.Gossiper
+	}{
+		{"tdma-gossip", func() radio.Gossiper { return &TDMAGossip{} }},
+		{"uniform-gossip", func() radio.Gossiper { return &UniformGossip{Q: 0.08} }},
+	} {
+		if _, ok := tc.mk().(radio.BatchGossiper); !ok {
+			t.Fatalf("%s does not implement radio.BatchGossiper", tc.name)
+		}
+		opt := radio.GossipOptions{MaxRounds: 2000, StopWhenComplete: true}
+		for seed := uint64(0); seed < 3; seed++ {
+			batch := radio.RunGossip(g, tc.mk(), rng.New(seed), opt)
+			radio.SetEngineOverrides(true, false)
+			scalar := radio.RunGossip(g, tc.mk(), rng.New(seed), opt)
+			radio.SetEngineOverrides(false, false)
+			if batch.Rounds != scalar.Rounds || batch.CompleteRound != scalar.CompleteRound ||
+				batch.TotalTx != scalar.TotalTx || batch.KnownPairs != scalar.KnownPairs ||
+				batch.MaxNodeTx != scalar.MaxNodeTx {
+				t.Fatalf("%s seed=%d: batch/scalar diverge", tc.name, seed)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+// Batch-vs-scalar decision equivalence for every protocol in this package
+// that implements the radio fast-path interfaces: under the shared-draw
+// scheme the engine must produce bit-identical Results whichever decision
+// path it takes, for every seed.
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+// assertBatchScalarEquivalent runs the protocol factory through the engine
+// on both decision paths with identical seeds and compares full Results.
+func assertBatchScalarEquivalent(t *testing.T, name string, g *graph.Digraph,
+	mk func() radio.Broadcaster, seed uint64, opt radio.Options) {
+	t.Helper()
+	if _, ok := mk().(radio.BatchBroadcaster); !ok {
+		t.Fatalf("%s does not implement radio.BatchBroadcaster", name)
+	}
+	opt.RecordHistory = true
+	batch := radio.RunBroadcast(g, 0, mk(), rng.New(seed), opt)
+	radio.SetEngineOverrides(true, false)
+	scalar := radio.RunBroadcast(g, 0, mk(), rng.New(seed), opt)
+	radio.SetEngineOverrides(false, false)
+
+	if batch.Rounds != scalar.Rounds || batch.InformedRound != scalar.InformedRound ||
+		batch.Informed != scalar.Informed || batch.TotalTx != scalar.TotalTx ||
+		batch.MaxNodeTx != scalar.MaxNodeTx || batch.Collisions != scalar.Collisions {
+		t.Fatalf("%s seed=%d: batch/scalar results diverge\nbatch  %+v\nscalar %+v",
+			name, seed, batch, scalar)
+	}
+	for i := range batch.PerNodeTx {
+		if batch.PerNodeTx[i] != scalar.PerNodeTx[i] {
+			t.Fatalf("%s seed=%d: per-node tx differ at node %d", name, seed, i)
+		}
+	}
+	for i := range batch.History {
+		if batch.History[i] != scalar.History[i] {
+			t.Fatalf("%s seed=%d: history differs at round %d: %+v vs %+v",
+				name, seed, i, batch.History[i], scalar.History[i])
+		}
+	}
+}
+
+func TestCoreBatchDecisionEquivalence(t *testing.T) {
+	sparse := graph.GNPDirected(1024, 0.02, rng.New(1)) // p <= n^{-2/5}
+	dense := graph.GNPDirected(512, 0.2, rng.New(2))
+	grid := graph.Grid2D(16, 16)
+	for _, tc := range []struct {
+		name string
+		g    *graph.Digraph
+		mk   func() radio.Broadcaster
+	}{
+		{"algorithm1-sparse", sparse, func() radio.Broadcaster { return NewAlgorithm1(0.02) }},
+		{"algorithm1-dense", dense, func() radio.Broadcaster { return NewAlgorithm1(0.2) }},
+		{"algorithm1-ablated", sparse, func() radio.Broadcaster {
+			a := NewAlgorithm1(0.02)
+			a.DisablePhase2 = true
+			return a
+		}},
+		{"algorithm3", grid, func() radio.Broadcaster { return NewAlgorithm3(256, 30, 1) }},
+		{"tradeoff", grid, func() radio.Broadcaster { return NewTradeoff(256, 5, 1) }},
+		{"unknown-diameter", grid, func() radio.Broadcaster { return NewUnknownDiameter(256, 1) }},
+	} {
+		for seed := uint64(0); seed < 4; seed++ {
+			assertBatchScalarEquivalent(t, tc.name, tc.g, tc.mk, seed,
+				radio.Options{MaxRounds: 20000})
+		}
+	}
+}
+
+func TestAlgorithm2BatchDecisionEquivalence(t *testing.T) {
+	g := graph.GNPDirected(192, 0.08, rng.New(3))
+	a := NewAlgorithm2(0.08)
+	if _, ok := interface{}(a).(radio.BatchGossiper); !ok {
+		t.Fatal("Algorithm2 does not implement radio.BatchGossiper")
+	}
+	opt := radio.GossipOptions{MaxRounds: a.RoundBudget(192), StopWhenComplete: true}
+	for seed := uint64(0); seed < 3; seed++ {
+		batch := radio.RunGossip(g, NewAlgorithm2(0.08), rng.New(seed), opt)
+		radio.SetEngineOverrides(true, false)
+		scalar := radio.RunGossip(g, NewAlgorithm2(0.08), rng.New(seed), opt)
+		radio.SetEngineOverrides(false, false)
+		if batch.Rounds != scalar.Rounds || batch.CompleteRound != scalar.CompleteRound ||
+			batch.TotalTx != scalar.TotalTx || batch.KnownPairs != scalar.KnownPairs {
+			t.Fatalf("seed=%d: algorithm2 batch/scalar diverge", seed)
+		}
+	}
+}
+
+func TestBatchPathConsumesRNGDeterministically(t *testing.T) {
+	// Two identical batch runs must leave the protocol RNG in the same
+	// state: the engine result AND the downstream stream position agree.
+	g := graph.GNPDirected(1024, 0.02, rng.New(4))
+	for seed := uint64(0); seed < 3; seed++ {
+		r1, r2 := rng.New(seed), rng.New(seed)
+		a := radio.RunBroadcast(g, 0, NewAlgorithm1(0.02), r1, radio.Options{MaxRounds: 20000})
+		b := radio.RunBroadcast(g, 0, NewAlgorithm1(0.02), r2, radio.Options{MaxRounds: 20000})
+		if a.TotalTx != b.TotalTx || a.Rounds != b.Rounds || a.Informed != b.Informed {
+			t.Fatalf("seed=%d: repeated batch runs differ", seed)
+		}
+		if r1.Uint64() != r2.Uint64() {
+			t.Fatalf("seed=%d: RNG stream positions differ after run", seed)
+		}
+	}
+}

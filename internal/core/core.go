@@ -22,6 +22,7 @@ import (
 	"math"
 
 	"repro/internal/graph"
+	"repro/internal/radio"
 	"repro/internal/rng"
 )
 
@@ -81,7 +82,8 @@ type Algorithm1 struct {
 	p2prob      float64
 	p3prob      float64
 	status      []nodeStatus
-	activeCount int
+	active      []graph.NodeID // active nodes in informing order
+	txs         radio.TxSet    // this round's transmitters (shared-draw set)
 	r           *rng.RNG
 }
 
@@ -168,7 +170,8 @@ func (a *Algorithm1) Begin(n int, src graph.NodeID, r *rng.RNG) {
 	}
 	a.phase3To = a.phase3From + p3len - 1
 	a.status = make([]nodeStatus, n)
-	a.activeCount = 0
+	a.active = a.active[:0]
+	a.txs.Reset(n)
 }
 
 // OnInformed implements radio.Broadcaster: nodes informed during Phases 1
@@ -177,51 +180,68 @@ func (a *Algorithm1) Begin(n int, src graph.NodeID, r *rng.RNG) {
 func (a *Algorithm1) OnInformed(round int, v graph.NodeID) {
 	if round < a.phase3From {
 		a.status[v] = statusActive
-		a.activeCount++
+		a.active = append(a.active, v)
 	} else {
 		a.status[v] = statusPassive
 	}
 }
 
-// BeginRound implements radio.Broadcaster.
-func (a *Algorithm1) BeginRound(int) {}
-
-// ShouldTransmit implements radio.Broadcaster.
-func (a *Algorithm1) ShouldTransmit(round int, v graph.NodeID) bool {
-	if a.status[v] != statusActive {
-		return false
-	}
+// BeginRound implements radio.Broadcaster: the round's transmitter set is
+// drawn here, once, by geometric-skip sampling over the active list (the
+// shared-draw scheme of radio.BatchBroadcaster). ShouldTransmit and
+// AppendTransmitters both read the same set, so the scalar and batch engine
+// paths consume identical randomness and select identical transmitters.
+func (a *Algorithm1) BeginRound(round int) {
+	a.txs.BeginRound()
 	switch {
 	case round <= a.t:
-		// Phase 1: transmit once, then retire.
-		a.setPassive(v)
-		return true
+		// Phase 1: every active node transmits once, then retires.
+		a.txs.AddAll(a.active, round)
+		a.retireAll()
 	case round == a.phase2Round:
 		// Phase 2: one shot with probability 1/(d^T p); retire either way.
-		tx := a.r.Bernoulli(a.p2prob)
-		a.setPassive(v)
-		return tx
+		a.txs.DrawList(a.r, a.active, a.p2prob, round)
+		a.retireAll()
 	case round >= a.phase3From && round <= a.phase3To:
-		// Phase 3: geometric trickle; retire only after transmitting.
-		if a.r.Bernoulli(a.p3prob) {
-			a.setPassive(v)
-			return true
+		// Phase 3: geometric trickle; retire only the transmitters.
+		s := a.r.SkipSample(len(a.active), a.p3prob)
+		next, ok := s.Next()
+		keep := a.active[:0]
+		for i, v := range a.active {
+			if ok && i == next {
+				a.txs.Add(v, round)
+				a.status[v] = statusPassive
+				next, ok = s.Next()
+			} else {
+				keep = append(keep, v)
+			}
 		}
-		return false
-	default:
-		return false
+		a.active = keep
 	}
 }
 
-func (a *Algorithm1) setPassive(v graph.NodeID) {
-	a.status[v] = statusPassive
-	a.activeCount--
+func (a *Algorithm1) retireAll() {
+	for _, v := range a.active {
+		a.status[v] = statusPassive
+	}
+	a.active = a.active[:0]
+}
+
+// ShouldTransmit implements radio.Broadcaster: membership in the round's
+// pre-drawn transmitter set.
+func (a *Algorithm1) ShouldTransmit(round int, v graph.NodeID) bool {
+	return a.txs.Contains(v, round)
+}
+
+// AppendTransmitters implements radio.BatchBroadcaster.
+func (a *Algorithm1) AppendTransmitters(round int, _ []graph.NodeID, dst []graph.NodeID) []graph.NodeID {
+	return a.txs.AppendTo(dst)
 }
 
 // Quiesced implements radio.Broadcaster: the protocol is silent once its
 // schedule ends or no active node remains.
 func (a *Algorithm1) Quiesced(round int) bool {
-	return round >= a.phase3To || a.activeCount == 0
+	return round >= a.phase3To || len(a.active) == 0
 }
 
 func clampProb(p float64) float64 {
@@ -247,9 +267,11 @@ type Algorithm2 struct {
 	// Gamma scales the round budget (default 8 when zero).
 	Gamma float64
 
-	d float64
-	q float64
-	r *rng.RNG
+	n   int
+	d   float64
+	q   float64
+	r   *rng.RNG
+	txs radio.TxSet
 }
 
 // NewAlgorithm2 returns the gossip protocol for edge probability p.
@@ -269,6 +291,8 @@ func (a *Algorithm2) Begin(n int, r *rng.RNG) {
 	}
 	a.q = clampProb(1 / a.d)
 	a.r = r
+	a.n = n
+	a.txs.Reset(n)
 }
 
 // RoundBudget returns the schedule length for an n-node network.
@@ -281,10 +305,21 @@ func (a *Algorithm2) RoundBudget(n int) int {
 	return int(math.Ceil(gamma * d * math.Log2(float64(n))))
 }
 
-// BeginRound implements radio.Gossiper.
-func (a *Algorithm2) BeginRound(int) {}
+// BeginRound implements radio.Gossiper: the round's transmitters are drawn
+// once by geometric-skip sampling over the node range (every node gossips),
+// shared by the scalar and batch decision paths.
+func (a *Algorithm2) BeginRound(round int) {
+	a.txs.BeginRound()
+	a.txs.DrawRange(a.r, a.n, a.q, round)
+}
 
-// ShouldTransmit implements radio.Gossiper.
-func (a *Algorithm2) ShouldTransmit(int, graph.NodeID) bool {
-	return a.r.Bernoulli(a.q)
+// ShouldTransmit implements radio.Gossiper: membership in the round's
+// pre-drawn transmitter set.
+func (a *Algorithm2) ShouldTransmit(round int, v graph.NodeID) bool {
+	return a.txs.Contains(v, round)
+}
+
+// AppendTransmitters implements radio.BatchGossiper.
+func (a *Algorithm2) AppendTransmitters(round int, dst []graph.NodeID) []graph.NodeID {
+	return a.txs.AppendTo(dst)
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dist"
 	"repro/internal/graph"
+	"repro/internal/radio"
 	"repro/internal/rng"
 )
 
@@ -36,13 +37,14 @@ type GeneralBroadcast struct {
 	// informed (the paper's β·log² n).
 	Window int
 
-	informedAt   []int
-	r            *rng.RNG
-	seq          *rng.RNG
-	curProb      float64
-	informedN    int
-	retiredN     int
-	retiredFlags []bool
+	informedAt []int
+	r          *rng.RNG
+	seq        *rng.RNG
+	curProb    float64
+	informedN  int
+	retiredN   int
+	queue      radio.WindowQueue // informed, window not yet expired
+	txs        radio.TxSet       // this round's transmitters (shared-draw set)
 }
 
 // NewAlgorithm3 builds the paper's configuration: α with λ = log₂(n/D) and
@@ -106,7 +108,8 @@ func (g *GeneralBroadcast) Begin(n int, src graph.NodeID, r *rng.RNG) {
 	for i := range g.informedAt {
 		g.informedAt[i] = -1
 	}
-	g.retiredFlags = make([]bool, n)
+	g.queue.Reset()
+	g.txs.Reset(n)
 	g.r = r
 	// The shared selection sequence is common randomness: all nodes know it
 	// (it is part of the algorithm description, like Czumaj–Rytter's
@@ -118,29 +121,39 @@ func (g *GeneralBroadcast) Begin(n int, src graph.NodeID, r *rng.RNG) {
 	g.curProb = 0
 }
 
-// BeginRound implements radio.Broadcaster: draw I_r and set the round's
-// shared transmission probability 2^{-I_r}.
+// BeginRound implements radio.Broadcaster: draw I_r, set the round's shared
+// transmission probability 2^{-I_r}, retire the nodes whose activity window
+// expired, and draw the round's transmitter set by geometric-skip sampling
+// over the still-active queue (the shared-draw scheme of
+// radio.BatchBroadcaster — ShouldTransmit and AppendTransmitters both read
+// the same set).
+//
+// The active list is a queue because informing times are non-decreasing in
+// informing order, so window expiry always happens at the head.
 func (g *GeneralBroadcast) BeginRound(round int) {
 	k := g.Dist.Sample(g.seq)
 	g.curProb = math.Pow(2, -float64(k))
+	g.retiredN += g.queue.Expire(g.informedAt, g.Window, round)
+	g.txs.BeginRound()
+	g.txs.DrawList(g.r, g.queue.Live(), g.curProb, round)
 }
 
 // OnInformed implements radio.Broadcaster.
 func (g *GeneralBroadcast) OnInformed(round int, v graph.NodeID) {
 	g.informedAt[v] = round
 	g.informedN++
+	g.queue.Push(v)
 }
 
-// ShouldTransmit implements radio.Broadcaster.
+// ShouldTransmit implements radio.Broadcaster: membership in the round's
+// pre-drawn transmitter set.
 func (g *GeneralBroadcast) ShouldTransmit(round int, v graph.NodeID) bool {
-	if round > g.informedAt[v]+g.Window {
-		if !g.retiredFlags[v] {
-			g.retiredFlags[v] = true
-			g.retiredN++
-		}
-		return false
-	}
-	return g.r.Bernoulli(g.curProb)
+	return g.txs.Contains(v, round)
+}
+
+// AppendTransmitters implements radio.BatchBroadcaster.
+func (g *GeneralBroadcast) AppendTransmitters(round int, _ []graph.NodeID, dst []graph.NodeID) []graph.NodeID {
+	return g.txs.AppendTo(dst)
 }
 
 // Quiesced implements radio.Broadcaster: true once every informed node's

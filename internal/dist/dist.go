@@ -1,0 +1,282 @@
+// Package dist implements the level distributions of §4 of the paper.
+//
+// A level distribution assigns probabilities to the levels k = 1..L,
+// L = ⌈log₂ n⌉. In round r of the general broadcasting algorithms every
+// active node transmits with probability 2^{-I_r}, where the shared
+// selection sequence I_1, I_2, ... is drawn i.i.d. from the distribution.
+// Level k is therefore "tuned" to neighbourhoods of size ≈ 2^k: if m ≈ 2^k
+// active nodes surround a receiver, a round with I_r = k has a constant
+// probability that exactly one of them transmits.
+//
+// Two families matter:
+//
+//   - α′ (Czumaj–Rytter, [11]): a plateau of mass Θ(1/λ) on levels k ≤ λ
+//     followed by geometric decay 2^{-(k-λ)}·Θ(1/λ) on deeper levels. Deep
+//     levels are starved, so per-neighbour success on large neighbourhoods
+//     needs a Θ(λ·log² n) activity window — Θ(log² n) transmissions per
+//     node.
+//
+//   - α (the paper, Fig. 1): the mixture α = ½·α′ + ½·Uniform{1..L}. The
+//     uniform half guarantees the floor α_k ≥ 1/(2 log n) on EVERY level,
+//     so a Θ(log² n) window suffices while the plateau half keeps the
+//     per-round transmission rate E[2^{-I}] = Θ(1/λ). This is what makes
+//     Algorithm 3 energy-optimal (Theorems 4.1 and 4.4).
+//
+// The package also provides the uniform and point distributions used by the
+// lower-bound experiments, and CheckPaperProperties, which verifies the
+// inequalities the §4 proofs rely on.
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rng"
+)
+
+// Distribution is a probability distribution over levels 1..L with O(1)
+// sampling (Walker's alias method). Build one with the New* constructors.
+type Distribution struct {
+	// Name labels the distribution in tables and test output.
+	Name string
+
+	pmf []float64 // pmf[k-1] = P(I = k)
+
+	// alias-method tables, built once by finalise.
+	aliasProb []float64
+	alias     []int
+
+	expSend float64 // E[2^{-I}], cached
+}
+
+// Levels returns L, the number of levels.
+func (d *Distribution) Levels() int { return len(d.pmf) }
+
+// Prob returns P(I = k) for k in 1..Levels(); 0 outside that range.
+func (d *Distribution) Prob(k int) float64 {
+	if k < 1 || k > len(d.pmf) {
+		return 0
+	}
+	return d.pmf[k-1]
+}
+
+// ExpectedSendProb returns E[2^{-I}] — the per-round transmission
+// probability of an active node, and therefore its expected energy per
+// active round.
+func (d *Distribution) ExpectedSendProb() float64 { return d.expSend }
+
+// Sample draws one level from the distribution using r. O(1) via the alias
+// method; consumes exactly one Uint64 and at most one Float64 from r.
+func (d *Distribution) Sample(r *rng.RNG) int {
+	i := r.Intn(len(d.pmf))
+	if r.Float64() < d.aliasProb[i] {
+		return i + 1
+	}
+	return d.alias[i] + 1
+}
+
+// levelsFor returns L = ⌈log₂ n⌉ (at least 1).
+func levelsFor(n int) int {
+	if n < 2 {
+		return 1
+	}
+	l := int(math.Ceil(math.Log2(float64(n))))
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// LambdaFor returns the paper's λ = ⌈log₂(n/D)⌉ for an n-node network of
+// diameter D, clamped to [1, ⌈log₂ n⌉].
+func LambdaFor(n, D int) int {
+	l := levelsFor(n)
+	if D < 1 {
+		D = 1
+	}
+	lam := int(math.Ceil(math.Log2(float64(n) / float64(D))))
+	if lam < 1 {
+		lam = 1
+	}
+	if lam > l {
+		lam = l
+	}
+	return lam
+}
+
+// finalise normalises the pmf, caches E[2^{-I}] and builds the alias tables.
+func finalise(d *Distribution) *Distribution {
+	total := 0.0
+	for _, p := range d.pmf {
+		if p < 0 {
+			panic("dist: negative pmf entry")
+		}
+		total += p
+	}
+	if total <= 0 {
+		panic("dist: zero-mass distribution")
+	}
+	for i := range d.pmf {
+		d.pmf[i] /= total
+	}
+	for k, p := range d.pmf {
+		d.expSend += p * math.Pow(2, -float64(k+1))
+	}
+
+	// Walker alias tables.
+	n := len(d.pmf)
+	d.aliasProb = make([]float64, n)
+	d.alias = make([]int, n)
+	scaled := make([]float64, n)
+	small := make([]int, 0, n)
+	large := make([]int, 0, n)
+	for i, p := range d.pmf {
+		scaled[i] = p * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, i)
+		} else {
+			large = append(large, i)
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		g := large[len(large)-1]
+		d.aliasProb[s] = scaled[s]
+		d.alias[s] = g
+		scaled[g] = scaled[g] + scaled[s] - 1
+		if scaled[g] < 1 {
+			large = large[:len(large)-1]
+			small = append(small, g)
+		}
+	}
+	for _, i := range large {
+		d.aliasProb[i] = 1
+		d.alias[i] = i
+	}
+	for _, i := range small {
+		d.aliasProb[i] = 1 // numerical leftovers
+		d.alias[i] = i
+	}
+	return d
+}
+
+// alphaPrimePMF returns the unnormalised Czumaj–Rytter shape for the given
+// plateau width λ: constant on k ≤ λ, halving on each deeper level.
+func alphaPrimePMF(L, lambda int) []float64 {
+	pmf := make([]float64, L)
+	for k := 1; k <= L; k++ {
+		if k <= lambda {
+			pmf[k-1] = 1
+		} else {
+			pmf[k-1] = math.Pow(2, -float64(k-lambda))
+		}
+	}
+	return pmf
+}
+
+// NewAlphaPrime returns the Czumaj–Rytter distribution α′ with plateau
+// width λ over levels 1..⌈log₂ n⌉.
+func NewAlphaPrime(n, lambda int) *Distribution {
+	L := levelsFor(n)
+	if lambda < 1 || lambda > L {
+		panic(fmt.Sprintf("dist: lambda %d outside [1, %d]", lambda, L))
+	}
+	return finalise(&Distribution{
+		Name: fmt.Sprintf("alphaPrime(λ=%d)", lambda),
+		pmf:  alphaPrimePMF(L, lambda),
+	})
+}
+
+// NewAlphaPrimeForDiameter returns α′ with the paper's λ = log₂(n/D).
+func NewAlphaPrimeForDiameter(n, D int) *Distribution {
+	return NewAlphaPrime(n, LambdaFor(n, D))
+}
+
+// NewAlpha returns the paper's distribution α with plateau width λ: the
+// even mixture of α′(λ) and the uniform distribution on 1..L (Fig. 1 left).
+// It satisfies α_k ≥ α′_k/2, α_k ≥ 1/(2 log n) and α_k = O(1/λ), the three
+// properties the Theorem 4.1 proof uses.
+func NewAlpha(n, lambda int) *Distribution {
+	L := levelsFor(n)
+	if lambda < 1 || lambda > L {
+		panic(fmt.Sprintf("dist: lambda %d outside [1, %d]", lambda, L))
+	}
+	ap := alphaPrimePMF(L, lambda)
+	apTotal := 0.0
+	for _, p := range ap {
+		apTotal += p
+	}
+	pmf := make([]float64, L)
+	for i := range pmf {
+		pmf[i] = 0.5*ap[i]/apTotal + 0.5/float64(L)
+	}
+	return finalise(&Distribution{
+		Name: fmt.Sprintf("alpha(λ=%d)", lambda),
+		pmf:  pmf,
+	})
+}
+
+// NewAlphaForDiameter returns α with the paper's λ = log₂(n/D).
+func NewAlphaForDiameter(n, D int) *Distribution {
+	return NewAlpha(n, LambdaFor(n, D))
+}
+
+// NewUniformLevels returns the uniform distribution on levels 1..⌈log₂ n⌉ —
+// the unknown-diameter fallback and a lower-bound strawman.
+func NewUniformLevels(n int) *Distribution {
+	L := levelsFor(n)
+	pmf := make([]float64, L)
+	for i := range pmf {
+		pmf[i] = 1
+	}
+	return finalise(&Distribution{Name: "uniform", pmf: pmf})
+}
+
+// NewPointLevel returns the point mass on the single level k — every round
+// uses transmission probability 2^{-k}. Used by the star-crossing analysis.
+func NewPointLevel(n, k int) *Distribution {
+	L := levelsFor(n)
+	if k < 1 || k > L {
+		panic(fmt.Sprintf("dist: point level %d outside [1, %d]", k, L))
+	}
+	pmf := make([]float64, L)
+	pmf[k-1] = 1
+	return finalise(&Distribution{Name: fmt.Sprintf("point(k=%d)", k), pmf: pmf})
+}
+
+// CheckPaperProperties verifies the inequalities the §4 proofs rely on:
+// both pmfs sum to 1, α dominates α′/2 pointwise, α has the 1/(2 log n)
+// floor on every level, and α's plateau mass is O(1/λ).
+func CheckPaperProperties(a, ap *Distribution, lambda int) error {
+	const eps = 1e-9
+	L := a.Levels()
+	if ap.Levels() != L {
+		return fmt.Errorf("level count mismatch: %d vs %d", L, ap.Levels())
+	}
+	for _, d := range []*Distribution{a, ap} {
+		sum := 0.0
+		for k := 1; k <= L; k++ {
+			sum += d.Prob(k)
+		}
+		if math.Abs(sum-1) > 1e-6 {
+			return fmt.Errorf("%s: pmf sums to %v, not 1", d.Name, sum)
+		}
+	}
+	floor := 1 / (2 * float64(L))
+	for k := 1; k <= L; k++ {
+		if a.Prob(k)+eps < ap.Prob(k)/2 {
+			return fmt.Errorf("alpha_%d = %v < alphaPrime_%d/2 = %v",
+				k, a.Prob(k), k, ap.Prob(k)/2)
+		}
+		if a.Prob(k)+eps < floor {
+			return fmt.Errorf("alpha_%d = %v below floor 1/(2 log n) = %v",
+				k, a.Prob(k), floor)
+		}
+		if a.Prob(k) > 2/float64(lambda)+eps {
+			return fmt.Errorf("alpha_%d = %v exceeds O(1/λ) cap 2/λ = %v",
+				k, a.Prob(k), 2/float64(lambda))
+		}
+	}
+	return nil
+}

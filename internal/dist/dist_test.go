@@ -1,0 +1,128 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestPMFsNormalised(t *testing.T) {
+	n, D := 1<<16, 1<<6
+	for _, d := range []*Distribution{
+		NewAlphaForDiameter(n, D),
+		NewAlphaPrimeForDiameter(n, D),
+		NewAlpha(n, 4),
+		NewAlphaPrime(n, 4),
+		NewUniformLevels(n),
+		NewPointLevel(n, 8),
+	} {
+		sum := 0.0
+		for k := 1; k <= d.Levels(); k++ {
+			sum += d.Prob(k)
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("%s: pmf sums to %v", d.Name, sum)
+		}
+		if d.Prob(0) != 0 || d.Prob(d.Levels()+1) != 0 {
+			t.Fatalf("%s: out-of-range Prob not zero", d.Name)
+		}
+	}
+}
+
+func TestPaperProperties(t *testing.T) {
+	for _, tc := range []struct{ n, D int }{
+		{1 << 16, 1 << 6}, {1 << 20, 1 << 8}, {1 << 10, 1 << 8}, {1 << 14, 4},
+	} {
+		lambda := LambdaFor(tc.n, tc.D)
+		a := NewAlphaForDiameter(tc.n, tc.D)
+		ap := NewAlphaPrimeForDiameter(tc.n, tc.D)
+		if err := CheckPaperProperties(a, ap, lambda); err != nil {
+			t.Fatalf("n=%d D=%d: %v", tc.n, tc.D, err)
+		}
+	}
+}
+
+func TestLambdaFor(t *testing.T) {
+	if got := LambdaFor(1<<16, 1<<6); got != 10 {
+		t.Fatalf("LambdaFor(2^16, 2^6) = %d, want 10", got)
+	}
+	if got := LambdaFor(1<<10, 1<<10); got != 1 {
+		t.Fatalf("LambdaFor(n, n) = %d, want 1 (clamped)", got)
+	}
+	if got := LambdaFor(1<<10, 1); got != 10 {
+		t.Fatalf("LambdaFor(2^10, 1) = %d, want 10", got)
+	}
+}
+
+func TestExpectedSendProbThetaOneOverLambda(t *testing.T) {
+	// E[2^{-I}] must scale like 1/λ for α (the Theorem 4.1 energy rate).
+	n := 1 << 16
+	e4 := NewAlpha(n, 4).ExpectedSendProb()
+	e12 := NewAlpha(n, 12).ExpectedSendProb()
+	ratio := e4 / e12
+	if ratio < 1.5 || ratio > 6 {
+		t.Fatalf("E[2^-I] ratio λ=4 vs λ=12: %v, want ≈ 3", ratio)
+	}
+}
+
+func TestSamplerMatchesPMF(t *testing.T) {
+	n := 1 << 12
+	d := NewAlpha(n, 5)
+	r := rng.New(99)
+	const draws = 200000
+	counts := make([]int, d.Levels()+1)
+	for i := 0; i < draws; i++ {
+		k := d.Sample(r)
+		if k < 1 || k > d.Levels() {
+			t.Fatalf("sample %d out of range", k)
+		}
+		counts[k]++
+	}
+	for k := 1; k <= d.Levels(); k++ {
+		got := float64(counts[k]) / draws
+		want := d.Prob(k)
+		if math.Abs(got-want) > 0.01+0.1*want {
+			t.Fatalf("level %d: empirical %v vs pmf %v", k, got, want)
+		}
+	}
+}
+
+func TestSamplerDeterministic(t *testing.T) {
+	d := NewAlphaForDiameter(1<<14, 1<<5)
+	r1, r2 := rng.New(7), rng.New(7)
+	for i := 0; i < 1000; i++ {
+		if d.Sample(r1) != d.Sample(r2) {
+			t.Fatalf("draw %d differs for equal seeds", i)
+		}
+	}
+}
+
+func TestPointLevelSamplesItsLevel(t *testing.T) {
+	d := NewPointLevel(1<<10, 6)
+	r := rng.New(3)
+	for i := 0; i < 100; i++ {
+		if k := d.Sample(r); k != 6 {
+			t.Fatalf("point(6) sampled %d", k)
+		}
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"alpha lambda 0":    func() { NewAlpha(1024, 0) },
+		"alpha lambda big":  func() { NewAlpha(1024, 99) },
+		"point level 0":     func() { NewPointLevel(1024, 0) },
+		"point level big":   func() { NewPointLevel(1024, 99) },
+		"alphaPrime lambda": func() { NewAlphaPrime(1024, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -39,8 +39,8 @@ func runX5(cfg Config) []*sweep.Table {
 		} {
 			proto := proto
 			out := runBroadcastTrials(cfg, broadcastTrial{
-				makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) {
-					return graph.GNPDirected(n, p, rng.New(seed)), 0
+				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+					return sc.GNPDirected(n, p, rng.New(seed)), 0
 				},
 				makeProto: proto.make,
 				opts:      radio.Options{MaxRounds: 100000, LossProb: loss},
@@ -65,8 +65,8 @@ func runX5(cfg Config) []*sweep.Table {
 	for _, rate := range []float64{0, 0.05, 0.2, 0.4} {
 		rate := rate
 		out := runBroadcastTrials(cfg, broadcastTrial{
-			makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) {
-				return graph.GNPDirected(n, p, rng.New(seed)), 0
+			makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+				return sc.GNPDirected(n, p, rng.New(seed)), 0
 			},
 			makeProto: func() radio.Broadcaster { return core.NewAlgorithm3(n, diam, 2) },
 			// Jam each node independently with the given rate per round; the

@@ -45,7 +45,7 @@ func runX7(cfg Config) []*sweep.Table {
 		for _, pr := range protos {
 			pr := pr
 			out := runBroadcastTrials(cfg, broadcastTrial{
-				makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) { return g, 0 },
+				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) { return g, 0 },
 				makeProto: func() radio.Broadcaster { return baseline.NewBatteryLimited(pr.make(), B) },
 				opts:      radio.Options{MaxRounds: 300000},
 			})

@@ -1,0 +1,84 @@
+package expt
+
+// The engine-configuration invariance test of the batch fast path and the
+// delivery kernels: every figure and theorem experiment (F1–F2, E1–E12 at
+// reduced scale) must produce byte-identical tables for a fixed seed
+// whichever decision path (batch or scalar) and delivery kernel (serial or
+// receiver-sharded parallel) the engine uses. The X experiments are
+// excluded only because some report wall-clock columns.
+
+import (
+	"testing"
+
+	"repro/internal/radio"
+)
+
+var equivalenceIDs = []string{
+	"F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6",
+	"E7", "E8", "E9", "E10", "E11", "E12",
+}
+
+// renderExperiments runs the given experiments at reduced scale and returns
+// one markdown blob per id.
+func renderExperiments(t *testing.T, ids []string) map[string]string {
+	t.Helper()
+	out := make(map[string]string, len(ids))
+	c := Config{Full: false, Seed: 777, Workers: 0}
+	for _, id := range ids {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		blob := ""
+		for _, tb := range e.Run(c) {
+			blob += tb.Markdown() + "\n"
+		}
+		out[id] = blob
+	}
+	return out
+}
+
+func TestExperimentTablesInvariantUnderEngineConfiguration(t *testing.T) {
+	defer radio.SetEngineOverrides(false, false)
+
+	radio.SetEngineOverrides(false, false)
+	base := renderExperiments(t, equivalenceIDs)
+
+	radio.SetEngineOverrides(true, false) // force scalar decisions
+	scalar := renderExperiments(t, equivalenceIDs)
+
+	radio.SetEngineOverrides(false, true) // force the parallel delivery kernel
+	parallel := renderExperiments(t, equivalenceIDs)
+
+	radio.SetEngineOverrides(false, false)
+	for _, id := range equivalenceIDs {
+		if base[id] != scalar[id] {
+			t.Errorf("%s: tables differ between batch and scalar decision paths", id)
+		}
+		if base[id] != parallel[id] {
+			t.Errorf("%s: tables differ between serial and parallel delivery kernels", id)
+		}
+	}
+}
+
+// TestSweepScratchDeterminism pins the other half of the trial-loop
+// contract: per-worker scratch reuse must not leak state between trials, so
+// serial (workers=1) and parallel sweeps stay bit-identical.
+func TestSweepScratchDeterminism(t *testing.T) {
+	run := func(workers int) map[string]string {
+		c := Config{Full: false, Seed: 31337, Workers: workers}
+		e, _ := ByID("E1")
+		out := map[string]string{}
+		for _, tb := range e.Run(c) {
+			out[tb.Title] = tb.Markdown()
+		}
+		return out
+	}
+	serial := run(1)
+	parallel := run(4)
+	for k, v := range serial {
+		if parallel[k] != v {
+			t.Fatalf("E1 table %q differs between workers=1 and workers=4", k)
+		}
+	}
+}

@@ -101,11 +101,36 @@ func ByID(id string) (Experiment, bool) {
 
 // --- shared helpers ---
 
+// trialScratch is the per-worker scratch bundle the harness reuses across
+// trials: graph-builder storage and simulation-session buffers. One lives in
+// each sweep worker (see sweep.RunTrialsScratch), so trial loops allocate
+// only protocol state instead of rebuilding every adjacency and counter
+// array per trial.
+type trialScratch struct {
+	graph *graph.Scratch
+	radio *radio.Scratch
+}
+
+func newTrialScratch() any {
+	return &trialScratch{graph: graph.NewScratch(), radio: radio.NewScratch()}
+}
+
+// scratchOf unwraps the per-worker bundle (fresh buffers when the trial
+// carries none, so call sites work under plain RunTrials too).
+func scratchOf(t sweep.Trial) *trialScratch {
+	if ts, ok := t.Scratch.(*trialScratch); ok {
+		return ts
+	}
+	return newTrialScratch().(*trialScratch)
+}
+
 // broadcastTrial holds everything needed to run one protocol/topology pair
 // repeatedly.
 type broadcastTrial struct {
-	// makeGraph builds the per-trial topology and returns the source.
-	makeGraph func(seed uint64) (*graph.Digraph, graph.NodeID)
+	// makeGraph builds the per-trial topology and returns the source. The
+	// scratch may be used for G(n,p)-style generation (the returned graph is
+	// then valid for this trial only) or ignored for static topologies.
+	makeGraph func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID)
 	// makeProto builds a fresh protocol instance per trial.
 	makeProto func() radio.Broadcaster
 	opts      radio.Options
@@ -127,14 +152,15 @@ const (
 // runBroadcastTrials runs the spec cfg.trials() times and returns the
 // standard metric samples. Failed runs report NaN for informedRound.
 func runBroadcastTrials(cfg Config, spec broadcastTrial) map[string][]float64 {
-	return sweep.RunTrials(cfg.trials(), cfg.Seed, cfg.Workers, func(t sweep.Trial) sweep.Metrics {
-		g, src := spec.makeGraph(t.Seed)
+	return sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(t sweep.Trial) sweep.Metrics {
+		ts := scratchOf(t)
+		g, src := spec.makeGraph(t.Seed, ts.graph)
 		proto := spec.makeProto()
 		opts := spec.opts
 		if spec.makeOpts != nil {
 			opts = spec.makeOpts(t.Seed)
 		}
-		res := radio.RunBroadcast(g, src, proto, rng.New(rng.SubSeed(t.Seed, 1)), opts)
+		res := radio.RunBroadcastWith(ts.radio, g, src, proto, rng.New(rng.SubSeed(t.Seed, 1)), opts)
 		m := sweep.Metrics{
 			mSuccess:   0,
 			mTotalTx:   float64(res.TotalTx),

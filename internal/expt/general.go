@@ -89,7 +89,9 @@ func runE7(cfg Config) []*sweep.Table {
 		} {
 			proto := proto
 			out := runBroadcastTrials(cfg, broadcastTrial{
-				makeGraph: topo.make,
+				makeGraph: func(seed uint64, _ *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+					return topo.make(seed)
+				},
 				makeProto: proto.make,
 				opts:      radio.Options{MaxRounds: 300000},
 			})
@@ -134,7 +136,7 @@ func runE8(cfg Config) []*sweep.Table {
 	for lam := lamMin; lam <= L; lam++ {
 		lam := lam
 		out := runBroadcastTrials(cfg, broadcastTrial{
-			makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) { return g, 0 },
+			makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) { return g, 0 },
 			makeProto: func() radio.Broadcaster { return core.NewTradeoff(n, lam, 2) },
 			opts:      radio.Options{MaxRounds: 300000},
 		})
@@ -168,7 +170,7 @@ func runX3(cfg Config) []*sweep.Table {
 	for _, beta := range []float64{0.25, 0.5, 1, 2, 4} {
 		beta := beta
 		out := runBroadcastTrials(cfg, broadcastTrial{
-			makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) { return g, 0 },
+			makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) { return g, 0 },
 			makeProto: func() radio.Broadcaster { return core.NewAlgorithm3(n, D, beta) },
 			opts:      radio.Options{MaxRounds: 300000},
 		})

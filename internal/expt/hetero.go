@@ -40,7 +40,7 @@ func runX8(cfg Config) []*sweep.Table {
 		} {
 			proto := proto
 			out := runBroadcastTrials(cfg, broadcastTrial{
-				makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) {
+				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
 					g, _ := graph.GNPHetero(n, pmin, pmax, rng.New(seed))
 					return g, 0
 				},

@@ -94,7 +94,7 @@ func runE10(cfg Config) []*sweep.Table {
 		} {
 			proto := proto
 			out := runBroadcastTrials(cfg, broadcastTrial{
-				makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) {
+				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
 					net := graph.NewFig2Network(p0.nStar, p0.D)
 					return net.G, net.Source
 				},
@@ -148,7 +148,7 @@ func runE11(cfg Config) []*sweep.Table {
 	} {
 		proto := proto
 		out := runBroadcastTrials(cfg, broadcastTrial{
-			makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) {
+			makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
 				net := graph.NewFig2Network(nStar, D)
 				return net.G, net.Source
 			},

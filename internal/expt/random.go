@@ -57,8 +57,8 @@ func runE1(cfg Config) []*sweep.Table {
 	for _, pt := range e1Grid(cfg) {
 		pt := pt
 		out := runBroadcastTrials(cfg, broadcastTrial{
-			makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) {
-				return graph.GNPDirected(pt.n, pt.p, rng.New(seed)), 0
+			makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+				return sc.GNPDirected(pt.n, pt.p, rng.New(seed)), 0
 			},
 			makeProto: func() radio.Broadcaster { return core.NewAlgorithm1(pt.p) },
 			opts:      radio.Options{MaxRounds: 10000},
@@ -88,10 +88,11 @@ func runE2(cfg Config) []*sweep.Table {
 	}
 	p := d / float64(n)
 	trials := cfg.trials()
-	out := sweep.RunTrials(trials, cfg.Seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
-		g := graph.GNPDirected(n, p, rng.New(tr.Seed))
+	out := sweep.RunTrialsScratch(trials, cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
+		ts := scratchOf(tr)
+		g := ts.graph.GNPDirected(n, p, rng.New(tr.Seed))
 		a := core.NewAlgorithm1(p)
-		res := radio.RunBroadcast(g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
+		res := radio.RunBroadcastWith(ts.radio, g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
 			radio.Options{MaxRounds: 10000, RecordHistory: true})
 		m := sweep.Metrics{}
 		for r := 1; r <= a.T(); r++ {
@@ -134,10 +135,11 @@ func runE3(cfg Config) []*sweep.Table {
 	for _, n := range ns {
 		n := n
 		p := sparseP(n)
-		out := sweep.RunTrials(cfg.trials(), cfg.Seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
-			g := graph.GNPDirected(n, p, rng.New(tr.Seed))
+		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
+			ts := scratchOf(tr)
+			g := ts.graph.GNPDirected(n, p, rng.New(tr.Seed))
 			a := core.NewAlgorithm1(p)
-			res := radio.RunBroadcast(g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
+			res := radio.RunBroadcastWith(ts.radio, g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
 				radio.Options{MaxRounds: 10000, RecordHistory: true})
 			m := sweep.Metrics{"p2new": math.NaN()}
 			if pr := a.Phase2Round(); pr >= 0 && pr < len(res.History) {
@@ -166,10 +168,11 @@ func runE4(cfg Config) []*sweep.Table {
 	for _, n := range ns {
 		n := n
 		p := sparseP(n)
-		out := sweep.RunTrials(cfg.trials(), cfg.Seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
-			g := graph.GNPDirected(n, p, rng.New(tr.Seed))
+		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
+			ts := scratchOf(tr)
+			g := ts.graph.GNPDirected(n, p, rng.New(tr.Seed))
 			a := core.NewAlgorithm1(p)
-			res := radio.RunBroadcast(g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
+			res := radio.RunBroadcastWith(ts.radio, g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
 				radio.Options{MaxRounds: 10000, RecordHistory: true})
 			m := sweep.Metrics{"success": 0, "p3rounds": math.NaN(), "p3txrate": math.NaN()}
 			from, _ := a.Phase3Rounds()
@@ -278,8 +281,8 @@ func runE12(cfg Config) []*sweep.Table {
 		} {
 			proto := proto
 			out := runBroadcastTrials(cfg, broadcastTrial{
-				makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) {
-					return graph.GNPDirected(n, p, rng.New(seed)), 0
+				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+					return sc.GNPDirected(n, p, rng.New(seed)), 0
 				},
 				makeProto: proto.make,
 				opts:      radio.Options{MaxRounds: 10000},
@@ -320,8 +323,8 @@ func runX2(cfg Config) []*sweep.Table {
 		}{{"full algorithm", false}, {"phase 2 removed", true}} {
 			variant := variant
 			out := runBroadcastTrials(cfg, broadcastTrial{
-				makeGraph: func(seed uint64) (*graph.Digraph, graph.NodeID) {
-					return graph.GNPDirected(n, p, rng.New(seed)), 0
+				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+					return sc.GNPDirected(n, p, rng.New(seed)), 0
 				},
 				makeProto: func() radio.Broadcaster {
 					a := core.NewAlgorithm1(p)

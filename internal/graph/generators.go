@@ -10,38 +10,11 @@ import (
 // pair (u,v), u ≠ v, is an edge independently with probability p. This is the
 // random-network model of §2–3 of the paper. Generation uses geometric
 // skipping (Batagelj–Brandes), so it runs in O(n + m) expected time rather
-// than O(n²).
+// than O(n²); the skip order emits edges already CSR-sorted, so no edge
+// sort happens either (see Scratch.GNPDirected, which trial loops use to
+// also reuse the adjacency storage).
 func GNPDirected(n int, p float64, r *rng.RNG) *Digraph {
-	if p < 0 || p > 1 {
-		panic("graph: GNP needs p in [0,1]")
-	}
-	b := NewBuilder(n)
-	if p == 0 || n == 1 {
-		return b.Build()
-	}
-	total := uint64(n) * uint64(n-1) // linear index over ordered non-diagonal pairs
-	if p == 1 {
-		for u := 0; u < n; u++ {
-			for v := 0; v < n; v++ {
-				if u != v {
-					b.AddEdge(NodeID(u), NodeID(v))
-				}
-			}
-		}
-		return b.Build()
-	}
-	idx := uint64(r.Geometric(p))
-	for idx < total {
-		u := NodeID(idx / uint64(n-1))
-		rest := idx % uint64(n-1)
-		v := NodeID(rest)
-		if v >= u {
-			v++
-		}
-		b.AddEdge(u, v)
-		idx += 1 + uint64(r.Geometric(p))
-	}
-	return b.Build()
+	return NewScratch().GNPDirected(n, p, r)
 }
 
 // GNPHetero samples a heterogeneous-range random digraph: node u draws its

@@ -1,0 +1,113 @@
+package graph
+
+import "repro/internal/rng"
+
+// Scratch reuses CSR adjacency storage across repeated graph generations —
+// the experiment harness keeps one per worker so trial loops stop paying an
+// allocation and a global edge sort per trial. The graph returned by a
+// generation call aliases the Scratch's storage and is valid only until the
+// next call.
+type Scratch struct {
+	g   Digraph
+	pos []int32 // per-node fill cursor for the in-adjacency pass
+}
+
+// NewScratch returns an empty scratch; storage is sized on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+func growOffsets(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growIDs(s []NodeID, n int) []NodeID {
+	if cap(s) < n {
+		return make([]NodeID, n)
+	}
+	return s[:n]
+}
+
+// GNPDirected is graph.GNPDirected writing into the scratch's reusable
+// storage. It consumes the RNG identically to the package-level function
+// and produces an identical graph, but builds the CSR form directly:
+// geometric skipping emits edges already sorted by (u, v), so no edge-list
+// sort is needed, and the in-adjacency follows from one counting pass.
+func (s *Scratch) GNPDirected(n int, p float64, r *rng.RNG) *Digraph {
+	if p < 0 || p > 1 {
+		panic("graph: GNP needs p in [0,1]")
+	}
+	if n < 1 {
+		panic("graph: GNP needs n >= 1")
+	}
+	if n > 1<<31-1 {
+		panic("graph: too many nodes for int32 ids")
+	}
+	g := &s.g
+	g.n = n
+	g.outOff = growOffsets(g.outOff, n+1)
+	g.inOff = growOffsets(g.inOff, n+1)
+	g.outTo = g.outTo[:0]
+
+	if p > 0 && n > 1 {
+		// Geometric skipping over the linear index of ordered non-diagonal
+		// pairs; indices arrive in increasing order, i.e. sorted by (u, v).
+		total := uint64(n) * uint64(n-1)
+		cur := 0
+		g.outOff[0] = 0
+		idx := uint64(r.Geometric(p))
+		for idx < total {
+			u := int(idx / uint64(n-1))
+			v := NodeID(idx % uint64(n-1))
+			if v >= NodeID(u) {
+				v++
+			}
+			for cur < u {
+				cur++
+				g.outOff[cur] = len(g.outTo)
+			}
+			g.outTo = append(g.outTo, v)
+			idx += 1 + uint64(r.Geometric(p))
+		}
+		for cur < n {
+			cur++
+			g.outOff[cur] = len(g.outTo)
+		}
+	} else {
+		for i := range g.outOff {
+			g.outOff[i] = 0
+		}
+	}
+
+	// In-adjacency by counting sort: count in-degrees, prefix-sum, then fill
+	// by walking the out-lists in u order — which leaves every in-list
+	// sorted, matching the Builder invariant.
+	m := len(g.outTo)
+	g.inTo = growIDs(g.inTo, m)
+	for i := range g.inOff {
+		g.inOff[i] = 0
+	}
+	for _, v := range g.outTo {
+		g.inOff[v+1]++
+	}
+	for i := 0; i < n; i++ {
+		g.inOff[i+1] += g.inOff[i]
+	}
+	if cap(s.pos) < n {
+		s.pos = make([]int32, n)
+	} else {
+		s.pos = s.pos[:n]
+		for i := range s.pos {
+			s.pos[i] = 0
+		}
+	}
+	for u := 0; u < n; u++ {
+		for i := g.outOff[u]; i < g.outOff[u+1]; i++ {
+			v := g.outTo[i]
+			g.inTo[g.inOff[v]+int(s.pos[v])] = NodeID(u)
+			s.pos[v]++
+		}
+	}
+	return g
+}

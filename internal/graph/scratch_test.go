@@ -1,0 +1,109 @@
+package graph
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// builderGNP is the original Builder-based G(n,p) construction, kept here as
+// the reference for the sort-free CSR fast path.
+func builderGNP(n int, p float64, r *rng.RNG) *Digraph {
+	b := NewBuilder(n)
+	if p == 0 || n == 1 {
+		return b.Build()
+	}
+	total := uint64(n) * uint64(n-1)
+	if p == 1 {
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				if u != v {
+					b.AddEdge(NodeID(u), NodeID(v))
+				}
+			}
+		}
+		return b.Build()
+	}
+	idx := uint64(r.Geometric(p))
+	for idx < total {
+		u := NodeID(idx / uint64(n-1))
+		v := NodeID(idx % uint64(n-1))
+		if v >= u {
+			v++
+		}
+		b.AddEdge(u, v)
+		idx += 1 + uint64(r.Geometric(p))
+	}
+	return b.Build()
+}
+
+func digraphsEqual(a, b *Digraph) bool {
+	if a.N() != b.N() || a.M() != b.M() {
+		return false
+	}
+	for v := 0; v < a.N(); v++ {
+		ao, bo := a.Out(NodeID(v)), b.Out(NodeID(v))
+		if len(ao) != len(bo) {
+			return false
+		}
+		for i := range ao {
+			if ao[i] != bo[i] {
+				return false
+			}
+		}
+		ai, bi := a.In(NodeID(v)), b.In(NodeID(v))
+		if len(ai) != len(bi) {
+			return false
+		}
+		for i := range ai {
+			if ai[i] != bi[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestScratchGNPMatchesBuilderConstruction(t *testing.T) {
+	sc := NewScratch()
+	for _, tc := range []struct {
+		n    int
+		p    float64
+		seed uint64
+	}{
+		{1, 0.5, 1}, {2, 0.5, 2}, {17, 0, 3}, {17, 1, 4},
+		{64, 0.05, 5}, {64, 0.3, 6}, {200, 0.02, 7}, {513, 0.011, 8},
+	} {
+		rA := rng.New(tc.seed)
+		rB := rng.New(tc.seed)
+		got := sc.GNPDirected(tc.n, tc.p, rA)
+		want := builderGNP(tc.n, tc.p, rB)
+		if err := got.Validate(); err != nil {
+			t.Fatalf("n=%d p=%v: scratch graph invalid: %v", tc.n, tc.p, err)
+		}
+		if !digraphsEqual(got, want) {
+			t.Fatalf("n=%d p=%v seed=%d: scratch graph differs from builder graph",
+				tc.n, tc.p, tc.seed)
+		}
+		// RNG-consumption parity: both generators must leave the stream in
+		// the same state, or downstream per-trial draws would diverge.
+		if rA.Uint64() != rB.Uint64() {
+			t.Fatalf("n=%d p=%v seed=%d: RNG consumption differs", tc.n, tc.p, tc.seed)
+		}
+	}
+}
+
+func TestScratchReuseAcrossSizes(t *testing.T) {
+	sc := NewScratch()
+	r := rng.New(42)
+	// Shrinking and regrowing must not leak state between generations.
+	for _, n := range []int{128, 16, 300, 1, 64} {
+		g := sc.GNPDirected(n, 0.1, r)
+		if g.N() != n {
+			t.Fatalf("got n=%d, want %d", g.N(), n)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+}

@@ -23,6 +23,20 @@ type Gossiper interface {
 	ShouldTransmit(round int, v graph.NodeID) bool
 }
 
+// BatchGossiper is the gossip analogue of BatchBroadcaster: the engine
+// replaces the per-node ShouldTransmit loop with one AppendTransmitters
+// call per round. The shared-draw contract is the same — both paths must
+// select the same transmitter sequence (in increasing node order, since
+// gossip consults every node) from the same randomness.
+type BatchGossiper interface {
+	Gossiper
+	// AppendTransmitters appends this round's transmitters to dst and
+	// returns the extended slice. Unlike the broadcast variant there is no
+	// candidate-list parameter: every node gossips, and protocols already
+	// know n from Begin, so they sample the id range directly.
+	AppendTransmitters(round int, dst []graph.NodeID) []graph.NodeID
+}
+
 // GossipOptions configures a gossip run.
 type GossipOptions struct {
 	// MaxRounds caps the run length. Required (> 0).
@@ -167,6 +181,10 @@ func (s *GossipSession) Run(g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt
 	}
 
 	p.Begin(n, protoRNG)
+	batch, _ := p.(BatchGossiper)
+	if engineOverrides.scalarDecisions {
+		batch = nil
+	}
 	totalTarget := int64(n) * int64(n)
 	transmitters := make([]graph.NodeID, 0, n)
 	touched := make([]graph.NodeID, 0, n)
@@ -176,11 +194,19 @@ func (s *GossipSession) Run(g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt
 		round := s.rounds
 		p.BeginRound(round)
 		transmitters = transmitters[:0]
-		for v := 0; v < n; v++ {
-			if p.ShouldTransmit(round, graph.NodeID(v)) {
-				transmitters = append(transmitters, graph.NodeID(v))
+		if batch != nil {
+			transmitters = batch.AppendTransmitters(round, transmitters)
+			for _, v := range transmitters {
 				res.PerNodeTx[v]++
 				s.isTx[v] = true
+			}
+		} else {
+			for v := 0; v < n; v++ {
+				if p.ShouldTransmit(round, graph.NodeID(v)) {
+					transmitters = append(transmitters, graph.NodeID(v))
+					res.PerNodeTx[v]++
+					s.isTx[v] = true
+				}
 			}
 		}
 		res.TotalTx += int64(len(transmitters))

@@ -3,118 +3,146 @@ package radio
 import (
 	"runtime"
 	"sync"
-	"sync/atomic"
 
 	"repro/internal/graph"
 )
 
-// parallelDeliverer is the sharded delivery kernel: transmitters are split
-// among workers that accumulate hit counts with atomic adds, then a second
-// pass (also sharded by transmitter) collects the uniquely-hit receivers.
+// parallelDeliverer is the sharded delivery kernel. It replaces the old
+// atomic-CAS design with receiver-sharded counting, which does the same
+// work with zero atomics and strictly sequential memory traffic:
 //
-// In the second pass a worker that resolves a receiver claims it by CASing
-// the counter to zero — which doubles as the reset, so no third pass is
-// needed. A receiver with hits == 1 has exactly one transmitter pointing at
-// it (one claimant); a collided receiver is claimed by whichever of its
-// transmitters' workers wins the CAS, and the losers observe 0 and skip.
-// Results are sorted before returning, which makes the parallel kernel
-// bit-identical to the serial one.
+//	Pass 1 (sharded by transmitter): each worker walks its transmitters'
+//	out-edges and distributes the hit receivers into per-(worker, shard)
+//	buckets, where a shard is a contiguous receiver-id range.
+//
+//	Pass 2 (sharded by receiver): each shard owner merges the buckets
+//	aimed at its range into the shared hit array — no two workers touch
+//	the same counter — then resolves its receivers exactly like the
+//	serial kernel (>= 2 hits collide, exactly 1 delivers) and resets its
+//	counters.
+//
+// Per-shard delivered lists are sorted locally; concatenating them in shard
+// order yields a globally sorted result, which makes the kernel
+// bit-identical to the serial one. All buckets and output buffers are
+// retained across rounds, so the steady state allocates nothing.
 //
 // This exists for large-graph throughput (the X4 engine experiment); the
 // experiment harness otherwise parallelises across independent trials,
 // which is the better granularity for sweeps.
 type parallelDeliverer struct {
-	hits    []int32
+	n       int
 	workers int
+	shift   uint // receiver shard = id >> shift
+	shards  int
+
+	hits    []int32
+	st      deliveryState        // serial fallback for small rounds
+	buckets [][][]graph.NodeID   // [worker][shard] hit receivers
+	touched [][]graph.NodeID     // per-shard first-touch lists
+	outD    [][]graph.NodeID     // per-shard delivered lists
+	colls   []int                // per-shard collision counts
+	merged  []graph.NodeID       // concatenated delivered scratch
 }
 
 func newParallelDeliverer(n, workers int) *parallelDeliverer {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &parallelDeliverer{hits: make([]int32, n), workers: workers}
+	shift := uint(0)
+	for (n-1)>>shift >= workers {
+		shift++
+	}
+	shards := ((n - 1) >> shift) + 1
+	pd := &parallelDeliverer{
+		n:       n,
+		workers: workers,
+		shift:   shift,
+		shards:  shards,
+		hits:    make([]int32, n),
+		buckets: make([][][]graph.NodeID, workers),
+		touched: make([][]graph.NodeID, shards),
+		outD:    make([][]graph.NodeID, shards),
+		colls:   make([]int, shards),
+	}
+	for w := range pd.buckets {
+		pd.buckets[w] = make([][]graph.NodeID, shards)
+	}
+	pd.st.hits = pd.hits
+	return pd
 }
 
-func (pd *parallelDeliverer) deliver(g *graph.Digraph, transmitters []graph.NodeID, informed []bool) (delivered []graph.NodeID, collisions int) {
+func (pd *parallelDeliverer) deliver(g *graph.Digraph, transmitters []graph.NodeID, informed Bitset) (delivered []graph.NodeID, collisions int) {
 	w := pd.workers
 	if len(transmitters) < 4*w {
-		// Not worth fanning out; reuse the serial algorithm on our buffer.
-		st := deliveryState{hits: pd.hits}
-		return st.deliver(g, transmitters, informed)
+		// Not worth fanning out; run the serial algorithm on our buffers.
+		return pd.st.deliver(g, transmitters, informed)
 	}
 
-	// Pass 1: count hits.
+	// Pass 1: distribute hit receivers into per-(worker, shard) buckets.
 	var wg sync.WaitGroup
 	chunk := (len(transmitters) + w - 1) / w
-	for i := 0; i < w; i++ {
+	nBuckets := (len(transmitters) + chunk - 1) / chunk
+	for i := 0; i < nBuckets; i++ {
 		lo := i * chunk
-		if lo >= len(transmitters) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(transmitters) {
-			hi = len(transmitters)
-		}
+		hi := min(lo+chunk, len(transmitters))
 		wg.Add(1)
-		go func(txs []graph.NodeID) {
+		go func(bw [][]graph.NodeID, txs []graph.NodeID) {
 			defer wg.Done()
+			for s := range bw {
+				bw[s] = bw[s][:0]
+			}
 			for _, u := range txs {
 				for _, t := range g.Out(u) {
-					atomic.AddInt32(&pd.hits[t], 1)
+					s := uint32(t) >> pd.shift
+					bw[s] = append(bw[s], t)
 				}
 			}
-		}(transmitters[lo:hi])
+		}(pd.buckets[i], transmitters[lo:hi])
 	}
 	wg.Wait()
 
-	// Pass 2: claim uniquely-hit receivers and count collisions. Claiming
-	// CASes the counter back to zero, so the array is fully reset when the
-	// pass completes (no increments happen concurrently with this pass).
-	results := make([][]graph.NodeID, w)
-	collCounts := make([]int, w)
-	for i := 0; i < w; i++ {
-		lo := i * chunk
-		if lo >= len(transmitters) {
-			break
-		}
-		hi := lo + chunk
-		if hi > len(transmitters) {
-			hi = len(transmitters)
-		}
+	// Pass 2: each shard owner counts its range and resolves receivers.
+	for s := 0; s < pd.shards; s++ {
 		wg.Add(1)
-		go func(idx int, txs []graph.NodeID) {
+		go func(s int) {
 			defer wg.Done()
-			var local []graph.NodeID
-			coll := 0
-			for _, u := range txs {
-				for _, t := range g.Out(u) {
-					h := atomic.LoadInt32(&pd.hits[t])
-					switch {
-					case h == 1:
-						if atomic.CompareAndSwapInt32(&pd.hits[t], 1, 0) {
-							if !informed[t] {
-								local = append(local, t)
-							}
-						}
-					case h >= 2:
-						// Whichever worker wins the CAS accounts for the
-						// collision; losers observe 0 and skip.
-						if atomic.CompareAndSwapInt32(&pd.hits[t], h, 0) {
-							coll++
-						}
+			touched := pd.touched[s][:0]
+			for b := 0; b < nBuckets; b++ {
+				for _, t := range pd.buckets[b][s] {
+					if pd.hits[t] == 0 {
+						touched = append(touched, t)
 					}
+					pd.hits[t]++
 				}
 			}
-			results[idx] = local
-			collCounts[idx] = coll
-		}(i, transmitters[lo:hi])
+			out := pd.outD[s][:0]
+			coll := 0
+			for _, t := range touched {
+				h := pd.hits[t]
+				pd.hits[t] = 0
+				if h >= 2 {
+					coll++
+					continue
+				}
+				if informed.Get(t) {
+					continue
+				}
+				out = append(out, t)
+			}
+			sortNodeIDs(out)
+			pd.touched[s] = touched
+			pd.outD[s] = out
+			pd.colls[s] = coll
+		}(s)
 	}
 	wg.Wait()
 
-	for i := 0; i < w; i++ {
-		delivered = append(delivered, results[i]...)
-		collisions += collCounts[i]
+	// Shards are ascending id ranges, so concatenation is globally sorted.
+	merged := pd.merged[:0]
+	for s := 0; s < pd.shards; s++ {
+		merged = append(merged, pd.outD[s]...)
+		collisions += pd.colls[s]
 	}
-	sortNodeIDs(delivered)
-	return delivered, collisions
+	pd.merged = merged
+	return merged, collisions
 }

@@ -16,6 +16,18 @@
 //
 // The engine accounts energy as the paper does: the total number of
 // transmissions and the per-node transmission counts.
+//
+// # Decision-phase fast path
+//
+// Most of the paper's protocols are Bernoulli-style: in a given round every
+// eligible node transmits independently with some probability q. The
+// per-node path (one virtual ShouldTransmit call and one RNG draw per
+// informed node per round) is then pure overhead: geometric-skip sampling
+// can draw the ~nq transmitters directly. Protocols opt in by implementing
+// BatchBroadcaster; the engine batch-collects the round's transmitters in
+// one call and skips the scalar loop. Both paths must select the same
+// transmitter sequence from the same randomness (the shared-draw contract,
+// see BatchBroadcaster), so engine results are independent of the path.
 package radio
 
 import (
@@ -32,8 +44,9 @@ import (
 //   - Begin is called exactly once per run, before any other method.
 //   - OnInformed(0, src) is called for the source before round 1.
 //   - BeginRound(r) is called once at the start of round r = 1, 2, ...
-//   - ShouldTransmit(r, v) is called exactly once per round for every
-//     informed node v, in increasing node order.
+//   - The decision phase then either calls ShouldTransmit(r, v) exactly once
+//     for every informed node v in informing order, or — when the protocol
+//     implements BatchBroadcaster — calls AppendTransmitters once instead.
 //   - OnInformed(r, v) is called at the end of round r for every node v
 //     that received the message for the first time in round r.
 //
@@ -58,6 +71,44 @@ type Broadcaster interface {
 	// nodes passive); the engine then stops early. `round` is the round
 	// that just finished.
 	Quiesced(round int) bool
+}
+
+// BatchBroadcaster is the optional decision-phase fast path. When a
+// Broadcaster implements it, the engine replaces the per-informed-node
+// ShouldTransmit loop with a single AppendTransmitters call per round.
+//
+// Contract (the shared-draw scheme): for any round, AppendTransmitters must
+// append exactly the nodes for which ShouldTransmit would report true, in
+// the same (informing) order, and the two paths must consume protocol
+// randomness identically — the practical recipe is to draw the round's
+// transmitter set once (in BeginRound or lazily on the first decision
+// query) and have both ShouldTransmit and AppendTransmitters read from it.
+// The batch equivalence tests in core and baseline enforce this for every
+// implementation in the repository.
+type BatchBroadcaster interface {
+	Broadcaster
+	// AppendTransmitters appends this round's transmitters to dst and
+	// returns the extended slice. informed is the engine's informed list in
+	// informing order; protocols that track their own eligible sets may
+	// ignore it.
+	AppendTransmitters(round int, informed []graph.NodeID, dst []graph.NodeID) []graph.NodeID
+}
+
+// engineOverrides force specific engine paths; see SetEngineOverrides.
+var engineOverrides struct {
+	scalarDecisions  bool
+	parallelDelivery bool
+}
+
+// SetEngineOverrides globally forces engine code paths, for the equivalence
+// tests and for debugging: scalarDecisions disables the batch decision fast
+// path even for BatchBroadcasters; parallelDelivery routes every loss-free
+// delivery through the parallel kernel. Call only while no simulations are
+// running; both paths are bit-identical to the defaults, so overrides must
+// never change any result.
+func SetEngineOverrides(scalarDecisions, parallelDelivery bool) {
+	engineOverrides.scalarDecisions = scalarDecisions
+	engineOverrides.parallelDelivery = parallelDelivery
 }
 
 // Options configures a simulation run (one session segment).
@@ -156,6 +207,44 @@ func (r *Result) TxPerNode() float64 {
 	return float64(r.TotalTx) / float64(len(r.PerNodeTx))
 }
 
+// Scratch holds the allocation-heavy session state — the informed bitset,
+// per-node counters, the informed list, and the delivery kernels' buffers —
+// for reuse across trials. The experiment harness keeps one Scratch per
+// worker; NewBroadcastSessionWith borrows the buffers, so at most one
+// session may use a Scratch at a time, and a session's Result must be
+// consumed before the Scratch hosts the next session.
+type Scratch struct {
+	n            int
+	informed     Bitset
+	perNodeTx    []int32
+	informedList []graph.NodeID
+	txbuf        []graph.NodeID
+	st           *deliveryState
+	par          *parallelDeliverer
+}
+
+// NewScratch returns an empty scratch; buffers are sized on first use and
+// resized when the node count changes.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// acquire readies the scratch for an n-node session and hands out buffers.
+func (sc *Scratch) acquire(n int) {
+	if sc.n != n {
+		sc.n = n
+		sc.informed = NewBitset(n)
+		sc.perNodeTx = make([]int32, n)
+		sc.informedList = make([]graph.NodeID, 0, n)
+		sc.txbuf = make([]graph.NodeID, 0, n)
+		sc.st = newDeliveryState(n)
+		sc.par = nil
+		return
+	}
+	sc.informed.Reset()
+	clear(sc.perNodeTx)
+	sc.informedList = sc.informedList[:0]
+	sc.txbuf = sc.txbuf[:0]
+}
+
 // BroadcastSession carries broadcast state — the informed set, the protocol
 // instance, the round clock, and the energy accounting — across multiple Run
 // segments, so the topology may change between segments. This models the
@@ -165,11 +254,13 @@ func (r *Result) TxPerNode() float64 {
 type BroadcastSession struct {
 	n       int
 	proto   Broadcaster
-	channel *rng.RNG // fading-loss randomness, separate from protocol RNG
+	batch   BatchBroadcaster // non-nil when proto implements the fast path
+	channel *rng.RNG         // fading-loss randomness, separate from protocol RNG
 
-	informed     []bool
+	informed     Bitset
 	informedList []graph.NodeID
-	rounds       int // absolute round clock across segments
+	txbuf        []graph.NodeID // per-round transmitter scratch
+	rounds       int            // absolute round clock across segments
 	quiesced     bool
 
 	totalTx    int64
@@ -178,6 +269,7 @@ type BroadcastSession struct {
 
 	reachedAt map[int]int // target count -> absolute round first reached
 
+	sc  *Scratch // non-nil when buffers are borrowed
 	st  *deliveryState
 	par *parallelDeliverer
 }
@@ -185,6 +277,12 @@ type BroadcastSession struct {
 // NewBroadcastSession starts a session: protocol p is initialised for an
 // n-node network with the given source already informed (at round 0).
 func NewBroadcastSession(n int, src graph.NodeID, p Broadcaster, protoRNG *rng.RNG) *BroadcastSession {
+	return NewBroadcastSessionWith(nil, n, src, p, protoRNG)
+}
+
+// NewBroadcastSessionWith is NewBroadcastSession borrowing buffers from sc
+// (which may be nil for one-shot sessions).
+func NewBroadcastSessionWith(sc *Scratch, n int, src graph.NodeID, p Broadcaster, protoRNG *rng.RNG) *BroadcastSession {
 	if n < 1 {
 		panic("radio: broadcast session needs n >= 1")
 	}
@@ -194,14 +292,28 @@ func NewBroadcastSession(n int, src graph.NodeID, p Broadcaster, protoRNG *rng.R
 	s := &BroadcastSession{
 		n:         n,
 		proto:     p,
-		informed:  make([]bool, n),
-		perNodeTx: make([]int32, n),
 		reachedAt: map[int]int{},
-		st:        newDeliveryState(n),
+	}
+	if b, ok := p.(BatchBroadcaster); ok {
+		s.batch = b
+	}
+	if sc != nil {
+		sc.acquire(n)
+		s.sc = sc
+		s.informed = sc.informed
+		s.perNodeTx = sc.perNodeTx
+		s.informedList = sc.informedList
+		s.txbuf = sc.txbuf
+		s.st = sc.st
+		s.par = sc.par
+	} else {
+		s.informed = NewBitset(n)
+		s.perNodeTx = make([]int32, n)
+		s.st = newDeliveryState(n)
 	}
 	p.Begin(n, src, protoRNG)
 	s.channel = protoRNG.Split(0xc4a881e1)
-	s.informed[src] = true
+	s.informed.Set(src)
 	s.informedList = append(s.informedList, src)
 	p.OnInformed(0, src)
 	return s
@@ -217,7 +329,7 @@ func (s *BroadcastSession) Rounds() int { return s.rounds }
 func (s *BroadcastSession) Quiesced() bool { return s.quiesced }
 
 // IsInformed reports whether node v has received the message.
-func (s *BroadcastSession) IsInformed(v graph.NodeID) bool { return s.informed[v] }
+func (s *BroadcastSession) IsInformed(v graph.NodeID) bool { return s.informed.Get(v) }
 
 // Run executes up to opt.MaxRounds further rounds on graph g (which must
 // have the session's node count but may differ from previous segments'
@@ -235,9 +347,15 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 	if target == 0 {
 		target = s.n
 	}
-	if opt.Parallel && s.par == nil {
+	parallel := opt.Parallel ||
+		(engineOverrides.parallelDelivery && opt.LossProb == 0)
+	if parallel && s.par == nil {
 		s.par = newParallelDeliverer(s.n, opt.Workers)
+		if s.sc != nil {
+			s.sc.par = s.par
+		}
 	}
+	useBatch := s.batch != nil && !engineOverrides.scalarDecisions
 
 	res := &Result{Protocol: s.proto.Name(), InformedRound: -1}
 	recordTarget := func() {
@@ -250,7 +368,7 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		res.History = append(res.History, RoundStat{Round: s.rounds, Informed: len(s.informedList)})
 	}
 
-	transmitters := make([]graph.NodeID, 0, s.n)
+	transmitters := s.txbuf
 	_, alreadyDone := s.reachedAt[target]
 	for seg := 1; seg <= opt.MaxRounds && !s.quiesced && !(opt.StopWhenInformed && alreadyDone); seg++ {
 		s.rounds++
@@ -260,15 +378,28 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 			opt.Tracer.RoundStart(round)
 		}
 
-		// Decision phase: informedList is in informing order; iterate a
-		// stable order so protocol RNG consumption is deterministic.
+		// Decision phase: informedList is in informing order; both paths
+		// iterate a stable order so protocol RNG consumption is
+		// deterministic.
 		transmitters = transmitters[:0]
-		for _, v := range s.informedList {
-			if s.proto.ShouldTransmit(round, v) {
-				transmitters = append(transmitters, v)
+		if useBatch {
+			transmitters = s.batch.AppendTransmitters(round, s.informedList, transmitters)
+			for _, v := range transmitters {
 				s.perNodeTx[v]++
-				if opt.Tracer != nil {
+			}
+			if opt.Tracer != nil {
+				for _, v := range transmitters {
 					opt.Tracer.Transmit(round, v)
+				}
+			}
+		} else {
+			for _, v := range s.informedList {
+				if s.proto.ShouldTransmit(round, v) {
+					transmitters = append(transmitters, v)
+					s.perNodeTx[v]++
+					if opt.Tracer != nil {
+						opt.Tracer.Transmit(round, v)
+					}
 				}
 			}
 		}
@@ -277,9 +408,10 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		// Delivery phase. (Half- vs full-duplex is immaterial for broadcast:
 		// every transmitter is already informed, so it can never be a first-
 		// time receiver. The distinction matters for gossip; see gossip.go.)
+		// The returned slice is kernel scratch, valid until the next round.
 		var delivered []graph.NodeID
 		var collisions int
-		if opt.Parallel {
+		if parallel {
 			delivered, collisions = s.par.deliver(g, transmitters, s.informed)
 		} else if opt.LossProb > 0 {
 			delivered, collisions = s.st.deliverLossy(g, transmitters, s.informed, opt.LossProb, s.channel)
@@ -292,7 +424,7 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		s.collisions += int64(collisions)
 
 		for _, v := range delivered {
-			s.informed[v] = true
+			s.informed.Set(v)
 			s.informedList = append(s.informedList, v)
 			s.proto.OnInformed(round, v)
 			if opt.Tracer != nil {
@@ -321,6 +453,14 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		if s.proto.Quiesced(round) {
 			s.quiesced = true
 		}
+	}
+	s.txbuf = transmitters[:0]
+	if s.sc != nil {
+		// Hand grown buffers back so the next borrower reuses the capacity.
+		// The contents stay valid for this session's further segments; the
+		// next acquire truncates them.
+		s.sc.txbuf = s.txbuf
+		s.sc.informedList = s.informedList
 	}
 
 	res.Rounds = s.rounds
@@ -369,12 +509,20 @@ func RunBroadcast(g *graph.Digraph, src graph.NodeID, p Broadcaster, protoRNG *r
 	return NewBroadcastSession(g.N(), src, p, protoRNG).Run(g, opt)
 }
 
+// RunBroadcastWith is RunBroadcast reusing sc's buffers (the trial-loop fast
+// path: the experiment harness calls it with one Scratch per worker).
+func RunBroadcastWith(sc *Scratch, g *graph.Digraph, src graph.NodeID, p Broadcaster, protoRNG *rng.RNG, opt Options) *Result {
+	return NewBroadcastSessionWith(sc, g.N(), src, p, protoRNG).Run(g, opt)
+}
+
 // deliveryState holds the reusable scratch arrays of the serial delivery
-// kernel: a hit counter and last-sender record per node, plus the list of
-// touched nodes so that resetting costs O(touched), not O(n).
+// kernel: a hit counter per node, the list of touched nodes (so resetting
+// costs O(touched), not O(n)), and the delivered-output buffer reused across
+// rounds.
 type deliveryState struct {
-	hits    []int32
-	touched []graph.NodeID
+	hits      []int32
+	touched   []graph.NodeID
+	delivered []graph.NodeID
 }
 
 func newDeliveryState(n int) *deliveryState {
@@ -384,8 +532,9 @@ func newDeliveryState(n int) *deliveryState {
 // deliver applies the collision rule for one round: every out-neighbour of a
 // transmitter gets a hit; nodes with exactly one hit receive. Returns the
 // newly informed nodes (in increasing id order) and the number of nodes that
-// experienced a collision (>= 2 hits).
-func (st *deliveryState) deliver(g *graph.Digraph, transmitters []graph.NodeID, informed []bool) (delivered []graph.NodeID, collisions int) {
+// experienced a collision (>= 2 hits). The returned slice is scratch, valid
+// until the next deliver/deliverLossy call on this state.
+func (st *deliveryState) deliver(g *graph.Digraph, transmitters []graph.NodeID, informed Bitset) (delivered []graph.NodeID, collisions int) {
 	st.touched = st.touched[:0]
 	for _, u := range transmitters {
 		for _, w := range g.Out(u) {
@@ -395,6 +544,7 @@ func (st *deliveryState) deliver(g *graph.Digraph, transmitters []graph.NodeID, 
 			st.hits[w]++
 		}
 	}
+	delivered = st.delivered[:0]
 	for _, w := range st.touched {
 		h := st.hits[w]
 		st.hits[w] = 0
@@ -403,12 +553,13 @@ func (st *deliveryState) deliver(g *graph.Digraph, transmitters []graph.NodeID, 
 			continue
 		}
 		// h == 1: successful reception unless w already knows the message.
-		if informed[w] {
+		if informed.Get(w) {
 			continue
 		}
 		delivered = append(delivered, w)
 	}
 	sortNodeIDs(delivered)
+	st.delivered = delivered
 	return delivered, collisions
 }
 
@@ -417,7 +568,7 @@ func (st *deliveryState) deliver(g *graph.Digraph, transmitters []graph.NodeID, 
 // signal neither delivers nor interferes at that receiver. Channel
 // randomness comes from the session's dedicated stream so protocol RNG
 // consumption is unaffected.
-func (st *deliveryState) deliverLossy(g *graph.Digraph, transmitters []graph.NodeID, informed []bool, loss float64, channel *rng.RNG) (delivered []graph.NodeID, collisions int) {
+func (st *deliveryState) deliverLossy(g *graph.Digraph, transmitters []graph.NodeID, informed Bitset, loss float64, channel *rng.RNG) (delivered []graph.NodeID, collisions int) {
 	st.touched = st.touched[:0]
 	for _, u := range transmitters {
 		for _, w := range g.Out(u) {
@@ -430,6 +581,7 @@ func (st *deliveryState) deliverLossy(g *graph.Digraph, transmitters []graph.Nod
 			st.hits[w]++
 		}
 	}
+	delivered = st.delivered[:0]
 	for _, w := range st.touched {
 		h := st.hits[w]
 		st.hits[w] = 0
@@ -437,12 +589,13 @@ func (st *deliveryState) deliverLossy(g *graph.Digraph, transmitters []graph.Nod
 			collisions++
 			continue
 		}
-		if informed[w] {
+		if informed.Get(w) {
 			continue
 		}
 		delivered = append(delivered, w)
 	}
 	sortNodeIDs(delivered)
+	st.delivered = delivered
 	return delivered, collisions
 }
 

@@ -281,11 +281,11 @@ func TestParallelMatchesSerialKernel(t *testing.T) {
 	serial := newDeliveryState(g.N())
 	par := newParallelDeliverer(g.N(), 4)
 	for trial := 0; trial < 30; trial++ {
-		informed := make([]bool, g.N())
+		informed := NewBitset(g.N())
 		var txs []graph.NodeID
 		for v := 0; v < g.N(); v++ {
 			if r.Bernoulli(0.3) {
-				informed[v] = true
+				informed.Set(graph.NodeID(v))
 				if r.Bernoulli(0.5) {
 					txs = append(txs, graph.NodeID(v))
 				}

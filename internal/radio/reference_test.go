@@ -15,7 +15,7 @@ import (
 )
 
 // referenceDeliver is the O(n·deg) spec-level implementation.
-func referenceDeliver(g *graph.Digraph, transmitters []graph.NodeID, informed []bool) (delivered []graph.NodeID, collisions int) {
+func referenceDeliver(g *graph.Digraph, transmitters []graph.NodeID, informed Bitset) (delivered []graph.NodeID, collisions int) {
 	isTx := make(map[graph.NodeID]bool, len(transmitters))
 	for _, u := range transmitters {
 		isTx[u] = true
@@ -30,7 +30,7 @@ func referenceDeliver(g *graph.Digraph, transmitters []graph.NodeID, informed []
 		switch {
 		case count >= 2:
 			collisions++
-		case count == 1 && !informed[v]:
+		case count == 1 && !informed.Get(graph.NodeID(v)):
 			delivered = append(delivered, graph.NodeID(v))
 		}
 	}
@@ -55,12 +55,12 @@ func TestSerialKernelMatchesReference(t *testing.T) {
 		n := int(rawN%60) + 2
 		p := float64(rawP%50)/100 + 0.02
 		g := graph.GNPDirected(n, p, r.Split(uint64(rawN)<<8|uint64(rawP)))
-		informed := make([]bool, n)
+		informed := NewBitset(n)
 		var txs []graph.NodeID
 		txProb := float64(rawTx%80)/100 + 0.1
 		for v := 0; v < n; v++ {
 			if r.Bernoulli(0.5) {
-				informed[v] = true
+				informed.Set(graph.NodeID(v))
 				if r.Bernoulli(txProb) {
 					txs = append(txs, graph.NodeID(v))
 				}
@@ -82,11 +82,11 @@ func TestParallelKernelMatchesReference(t *testing.T) {
 		n := int(rawN%80) + 10
 		p := float64(rawP%40)/100 + 0.05
 		g := graph.GNPDirected(n, p, r.Split(uint64(rawN)*131+uint64(rawP)))
-		informed := make([]bool, n)
+		informed := NewBitset(n)
 		var txs []graph.NodeID
 		for v := 0; v < n; v++ {
 			if r.Bernoulli(0.6) {
-				informed[v] = true
+				informed.Set(graph.NodeID(v))
 				if r.Bernoulli(0.5) {
 					txs = append(txs, graph.NodeID(v))
 				}
@@ -112,11 +112,11 @@ func TestLossyKernelZeroLossMatchesReference(t *testing.T) {
 		n := int(rawN%40) + 2
 		p := float64(rawP%60)/100 + 0.05
 		g := graph.GNPDirected(n, p, r.Split(uint64(rawN)^uint64(rawP)<<3))
-		informed := make([]bool, n)
+		informed := NewBitset(n)
 		var txs []graph.NodeID
 		for v := 0; v < n; v++ {
 			if r.Bernoulli(0.5) {
-				informed[v] = true
+				informed.Set(graph.NodeID(v))
 				if r.Bernoulli(0.5) {
 					txs = append(txs, graph.NodeID(v))
 				}
@@ -142,11 +142,11 @@ func TestLossyKernelSubsetOfLossless(t *testing.T) {
 	f := func(rawN uint8) bool {
 		n := int(rawN%40) + 4
 		g := graph.GNPDirected(n, 0.2, r.Split(uint64(rawN)))
-		informed := make([]bool, n)
+		informed := NewBitset(n)
 		var txs []graph.NodeID
 		for v := 0; v < n; v++ {
 			if r.Bernoulli(0.5) {
-				informed[v] = true
+				informed.Set(graph.NodeID(v))
 				if r.Bernoulli(0.6) {
 					txs = append(txs, graph.NodeID(v))
 				}
@@ -159,7 +159,7 @@ func TestLossyKernelSubsetOfLossless(t *testing.T) {
 		st := newDeliveryState(n)
 		delivered, _ := st.deliverLossy(g, txs, informed, 0.4, channel)
 		for _, v := range delivered {
-			if informed[v] {
+			if informed.Get(v) {
 				return false
 			}
 			count := 0

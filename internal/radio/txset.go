@@ -1,0 +1,97 @@
+package radio
+
+import (
+	"repro/internal/graph"
+	"repro/internal/rng"
+)
+
+// TxSet is the shared-draw building block behind every Bernoulli-phase
+// protocol's BatchBroadcaster implementation: the current round's
+// transmitter set, drawn exactly once in BeginRound and read by both
+// decision paths — ShouldTransmit answers membership, AppendTransmitters
+// copies the set. Centralising it keeps the batch/scalar equivalence
+// contract in one place instead of six protocols.
+type TxSet struct {
+	pending []graph.NodeID
+	txRound []int // txRound[v] == r iff v transmits in round r
+}
+
+// Reset readies the set for a fresh run on an n-node network.
+func (s *TxSet) Reset(n int) {
+	s.pending = s.pending[:0]
+	s.txRound = make([]int, n)
+}
+
+// BeginRound clears the pending set for a new round.
+func (s *TxSet) BeginRound() { s.pending = s.pending[:0] }
+
+// Add puts v into the given round's transmitter set.
+func (s *TxSet) Add(v graph.NodeID, round int) {
+	s.pending = append(s.pending, v)
+	s.txRound[v] = round
+}
+
+// AddAll puts every node of list into the round's set (the flood phases).
+func (s *TxSet) AddAll(list []graph.NodeID, round int) {
+	for _, v := range list {
+		s.Add(v, round)
+	}
+}
+
+// DrawList skip-samples the candidate list with per-node probability p into
+// the round's set: one Geometric draw per selected node plus one overshoot,
+// instead of one Bernoulli per candidate.
+func (s *TxSet) DrawList(r *rng.RNG, list []graph.NodeID, p float64, round int) {
+	it := r.SkipSample(len(list), p)
+	for i, ok := it.Next(); ok; i, ok = it.Next() {
+		s.Add(list[i], round)
+	}
+}
+
+// DrawRange skip-samples the id range [0, n) — the gossip case, where every
+// node is a candidate.
+func (s *TxSet) DrawRange(r *rng.RNG, n int, p float64, round int) {
+	it := r.SkipSample(n, p)
+	for i, ok := it.Next(); ok; i, ok = it.Next() {
+		s.Add(graph.NodeID(i), round)
+	}
+}
+
+// Contains reports whether v is in the given round's set (the scalar
+// ShouldTransmit body).
+func (s *TxSet) Contains(v graph.NodeID, round int) bool { return s.txRound[v] == round }
+
+// AppendTo appends the round's set to dst (the AppendTransmitters body).
+func (s *TxSet) AppendTo(dst []graph.NodeID) []graph.NodeID { return append(dst, s.pending...) }
+
+// WindowQueue is the activity-window queue shared by the window-based
+// protocols (GeneralBroadcast, FixedProb): nodes enter in informing order,
+// and because informing times are non-decreasing along that order, window
+// expiry always pops from the head.
+type WindowQueue struct {
+	active []graph.NodeID
+	head   int
+}
+
+// Reset empties the queue for a fresh run.
+func (q *WindowQueue) Reset() {
+	q.active = q.active[:0]
+	q.head = 0
+}
+
+// Push appends a newly informed node.
+func (q *WindowQueue) Push(v graph.NodeID) { q.active = append(q.active, v) }
+
+// Expire pops every node whose activity window [informedAt+1,
+// informedAt+window] has passed as of round, returning how many retired.
+func (q *WindowQueue) Expire(informedAt []int, window, round int) int {
+	n := 0
+	for q.head < len(q.active) && informedAt[q.active[q.head]]+window < round {
+		q.head++
+		n++
+	}
+	return n
+}
+
+// Live returns the not-yet-expired nodes in informing order.
+func (q *WindowQueue) Live() []graph.NodeID { return q.active[q.head:] }

@@ -170,6 +170,57 @@ func (r *RNG) Geometric(p float64) int {
 	return int(g)
 }
 
+// SkipSampler enumerates the indices of [0, n) that pass independent
+// Bernoulli(p) trials, in increasing order, drawing only O(np) expected
+// randomness via geometric skipping (the Batagelj–Brandes trick already used
+// by the G(n,p) generators). It is the decision-phase primitive behind the
+// batch transmit fast path: selecting the ~nq transmitters of a Bernoulli
+// round directly instead of flipping n coins.
+//
+// The zero value is exhausted; obtain one from RNG.SkipSample. The sampler
+// borrows the RNG: interleaving other draws between Next calls changes the
+// selection (deterministically).
+type SkipSampler struct {
+	r    *RNG
+	p    float64
+	n    int
+	next int
+	all  bool
+}
+
+// SkipSample returns a sampler over [0, n) with per-index probability p.
+// p <= 0 selects nothing and p >= 1 selects everything; neither consumes
+// randomness for the degenerate part (p >= 1 consumes none at all).
+func (r *RNG) SkipSample(n int, p float64) SkipSampler {
+	s := SkipSampler{r: r, p: p, n: n}
+	switch {
+	case n <= 0 || p <= 0:
+		s.next = n
+		if s.next < 0 {
+			s.next = 0
+		}
+	case p >= 1:
+		s.all = true
+	default:
+		s.next = r.Geometric(p)
+	}
+	return s
+}
+
+// Next returns the next selected index, or ok == false when exhausted.
+func (s *SkipSampler) Next() (i int, ok bool) {
+	if s.next >= s.n {
+		return 0, false
+	}
+	i = s.next
+	if s.all {
+		s.next++
+	} else {
+		s.next += 1 + s.r.Geometric(s.p)
+	}
+	return i, true
+}
+
 // Binomial returns a sample from Binomial(n, p). For small n it sums
 // Bernoulli draws; for large n it uses geometric skipping (waiting times),
 // which runs in O(np) expected time and is exact.

@@ -22,6 +22,11 @@ import (
 type Trial struct {
 	Index int
 	Seed  uint64
+	// Scratch is the per-worker scratch value produced by the factory given
+	// to RunTrialsScratch (nil under plain RunTrials). All trials executed
+	// by one worker goroutine see the same value, so buffers stored in it
+	// are reused across trials without any cross-trial data races.
+	Scratch any
 }
 
 // Metrics maps metric names to values for one trial.
@@ -32,6 +37,15 @@ type Metrics map[string]float64
 // fn must be safe for concurrent invocation (each call gets its own seed;
 // share nothing mutable).
 func RunTrials(trials int, baseSeed uint64, workers int, fn func(Trial) Metrics) map[string][]float64 {
+	return RunTrialsScratch(trials, baseSeed, workers, nil, fn)
+}
+
+// RunTrialsScratch is RunTrials with per-worker scratch: newScratch (when
+// non-nil) runs once per worker goroutine and its value is handed to every
+// trial that worker executes via Trial.Scratch. Determinism is unaffected —
+// trial seeds still depend only on (baseSeed, index) — because scratch must
+// only carry reusable buffers, never results.
+func RunTrialsScratch(trials int, baseSeed uint64, workers int, newScratch func() any, fn func(Trial) Metrics) map[string][]float64 {
 	if trials <= 0 {
 		panic("sweep: trials must be positive")
 	}
@@ -48,8 +62,12 @@ func RunTrials(trials int, baseSeed uint64, workers int, fn func(Trial) Metrics)
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			var sc any
+			if newScratch != nil {
+				sc = newScratch()
+			}
 			for i := range next {
-				results[i] = fn(Trial{Index: i, Seed: rng.SubSeed(baseSeed, uint64(i))})
+				results[i] = fn(Trial{Index: i, Seed: rng.SubSeed(baseSeed, uint64(i)), Scratch: sc})
 			}
 		}()
 	}

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Benchmark-regression harness: runs the Primitive micro-benchmarks with
+# allocation stats and writes the raw `go test -json` stream to
+# BENCH_<date>.json in the repo root, so successive PRs can diff ns/op and
+# allocs/op. Usage:
+#
+#   scripts/bench.sh                 # count=5, all Primitive benchmarks
+#   COUNT=1 scripts/bench.sh Decision  # quick smoke of a subset
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+COUNT="${COUNT:-5}"
+PATTERN="${1:-Primitive}"
+OUT="BENCH_$(date +%Y%m%d).json"
+
+echo "running go test -bench=${PATTERN} -benchmem -count=${COUNT} -> ${OUT}" >&2
+# pipefail propagates a go test failure through the display filter, so a
+# broken or crashing benchmark fails the harness instead of writing junk.
+go test -run '^$' -bench="${PATTERN}" -benchmem -count="${COUNT}" -json . | tee "${OUT}" \
+  | python3 -c 'import json,sys
+for line in sys.stdin:
+    try:
+        ev = json.loads(line)
+    except ValueError:
+        continue
+    out = ev.get("Output", "")
+    if "ns/op" in out or out.startswith("Benchmark"):
+        sys.stdout.write(out)'
+echo "wrote ${OUT}" >&2
