@@ -207,6 +207,60 @@ func BenchmarkPrimitiveAlgorithm1Run262144(b *testing.B) {
 	}
 }
 
+// --- geometric generation: the cell-grid RGG path at scale. n=262144 near
+// the connectivity threshold is the acceptance workload — it only completes
+// in benchmark time because construction is O(n + m) via the spatial index,
+// never an O(n²) pairwise scan. Scratch reuse keeps the steady state
+// allocation-light.
+
+func benchRGGGeneration(b *testing.B, n int) {
+	r := 2 * graph.ConnectivityRadius(n)
+	spec := graph.GeomSpec{N: n, Radius: r, Torus: true}
+	sc := graph.NewScratch()
+	rg := rng.New(3)
+	var edges int
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, _ := sc.Geometric(spec, rg)
+		edges = g.M()
+	}
+	b.ReportMetric(float64(edges), "edges")
+}
+
+func BenchmarkPrimitiveRGGGeneration65536(b *testing.B)  { benchRGGGeneration(b, 1<<16) }
+func BenchmarkPrimitiveRGGGeneration262144(b *testing.B) { benchRGGGeneration(b, 262144) }
+
+// bigRGG caches the n=262144 RGG instance at 2·r_c across benchmark counts.
+var bigRGG struct {
+	once sync.Once
+	g    *graph.Digraph
+}
+
+func bigRGGGraph() *graph.Digraph {
+	bigRGG.once.Do(func() {
+		n := 262144
+		bigRGG.g = graph.RGG(n, 2*graph.ConnectivityRadius(n), true, rng.New(1))
+	})
+	return bigRGG.g
+}
+
+// RGG-round isolation: a fixed transmitter set pulsing every round through
+// the delivery kernel on the big geometric graph — the steady-state cost of
+// one simulated round on the workload class the geometric experiments run.
+func BenchmarkPrimitiveRGGRound262144(b *testing.B) {
+	g := bigRGGGraph()
+	n := g.N()
+	txs := make([]graph.NodeID, 0, n/64)
+	for v := 0; v < n; v += 64 {
+		txs = append(txs, graph.NodeID(v))
+	}
+	sess := radio.NewBroadcastSession(n, 0, &pulseSet{txs: txs}, rng.New(18))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sess.Run(g, radio.Options{MaxRounds: b.N})
+}
+
 // --- decision-phase isolation: one Bernoulli round over a fully informed
 // network, batch (geometric-skip) vs scalar (per-node membership loop).
 // Per-op is per simulated round; the batch path's cost is O(nq), the

@@ -7,6 +7,12 @@
 //	netgen -topo gnp:n=2048,p=0.02
 //	netgen -topo fig2:n=128,d=96
 //	netgen -topo rgg:n=800,rmin=0.05,rmax=0.15 -edges
+//	netgen -topo udg:n=1024,torus=true
+//	netgen -topo mobile:n=512,model=waypoint,epoch=5
+//
+// -edges dumps the graph.WriteEdgeList format (header + "u v" lines) to
+// stdout — the stats table moves to stderr, so `netgen -edges > g.txt`
+// round-trips through graph.ReadEdgeList.
 package main
 
 import (
@@ -63,14 +69,16 @@ func main() {
 	}
 	ecc, _ := graph.Eccentricity(g, topo.Source)
 	t.AddRow("source eccentricity", sweep.FInt(ecc))
-	fmt.Print(t.Markdown())
 
 	if *edges {
-		fmt.Println()
-		for u := 0; u < g.N(); u++ {
-			for _, v := range g.Out(graph.NodeID(u)) {
-				fmt.Printf("%d %d\n", u, v)
-			}
+		// Stats go to stderr so stdout is exactly the WriteEdgeList format
+		// and `netgen -edges > g.txt` round-trips through ReadEdgeList.
+		fmt.Fprint(os.Stderr, t.Markdown())
+		if err := graph.WriteEdgeList(os.Stdout, g); err != nil {
+			fmt.Fprintln(os.Stderr, "netgen:", err)
+			os.Exit(1)
 		}
+		return
 	}
+	fmt.Print(t.Markdown())
 }

@@ -1,0 +1,117 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/cliutil"
+	"repro/internal/graph"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden edge-list files")
+
+// goldenSpecs lists one small instance per netgen topology mode. The golden
+// files pin the exact -edges output (so format or generator drift is caught),
+// and every emitted edge list must round-trip through graph.ReadEdgeList.
+var goldenSpecs = []struct {
+	name string
+	spec string
+}{
+	{"gnp", "gnp:n=24,p=0.15"},
+	{"gnp_sym", "gnp:n=24,p=0.15,sym=true"},
+	{"grid", "grid:w=4,h=3"},
+	{"path", "path:n=6"},
+	{"cycle", "cycle:n=7"},
+	{"star", "star:k=5"},
+	{"tree", "tree:n=11"},
+	{"complete", "complete:n=5"},
+	{"rgg", "rgg:n=30,rmin=0.2,rmax=0.35"},
+	{"rgg_cluster", "rgg:n=30,rmin=0.25,rmax=0.25,torus=true,cluster=3,spread=0.1"},
+	{"udg", "udg:n=30,r=0.3"},
+	{"udg_torus", "udg:n=30,r=0.3,torus=true"},
+	{"mobile", "mobile:n=24,r=0.3,model=waypoint,epoch=2"},
+	{"mobile_resample", "mobile:n=24,r=0.3,model=resample,epoch=1"},
+	{"obs43", "obs43:n=4"},
+	{"fig2", "fig2:n=8,d=12"},
+	{"hypercube", "hypercube:dim=3"},
+	{"torus", "torus:w=4,h=3"},
+	{"regular", "regular:n=16,deg=3"},
+	{"barbell", "barbell:k=4,bridge=3"},
+	{"caterpillar", "caterpillar:spine=4,legs=2"},
+}
+
+func edgeList(t *testing.T, spec string) []byte {
+	t.Helper()
+	topo, err := cliutil.ParseTopology(spec)
+	if err != nil {
+		t.Fatalf("%s: %v", spec, err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, topo.Build(1)); err != nil {
+		t.Fatalf("%s: %v", spec, err)
+	}
+	return buf.Bytes()
+}
+
+func TestEdgeListGolden(t *testing.T) {
+	for _, tc := range goldenSpecs {
+		t.Run(tc.name, func(t *testing.T) {
+			got := edgeList(t, tc.spec)
+			path := filepath.Join("testdata", tc.name+".edges")
+			if *update {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run go test ./cmd/netgen -update): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("%s: edge list drifted from golden file %s\ngot:\n%s", tc.spec, path, got)
+			}
+		})
+	}
+}
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	for _, tc := range goldenSpecs {
+		t.Run(tc.name, func(t *testing.T) {
+			topo, err := cliutil.ParseTopology(tc.spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := topo.Build(1)
+			var buf bytes.Buffer
+			if err := graph.WriteEdgeList(&buf, g); err != nil {
+				t.Fatal(err)
+			}
+			back, err := graph.ReadEdgeList(&buf)
+			if err != nil {
+				t.Fatalf("%s: round-trip parse: %v", tc.spec, err)
+			}
+			if err := back.Validate(); err != nil {
+				t.Fatalf("%s: round-tripped graph invalid: %v", tc.spec, err)
+			}
+			if back.N() != g.N() || back.M() != g.M() {
+				t.Fatalf("%s: round-trip changed size: %d/%d -> %d/%d",
+					tc.spec, g.N(), g.M(), back.N(), back.M())
+			}
+			for u := 0; u < g.N(); u++ {
+				a, b := g.Out(graph.NodeID(u)), back.Out(graph.NodeID(u))
+				if len(a) != len(b) {
+					t.Fatalf("%s: node %d degree changed", tc.spec, u)
+				}
+				for i := range a {
+					if a[i] != b[i] {
+						t.Fatalf("%s: node %d adjacency changed", tc.spec, u)
+					}
+				}
+			}
+		})
+	}
+}

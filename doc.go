@@ -26,6 +26,17 @@
 // algorithms), radio (the round engine), graph, dist, baseline, lowerbound,
 // stats, sweep, expt, rng.
 //
+// Beyond the paper's G(n,p) setting, internal/graph carries a geometric ad
+// hoc topology subsystem: random geometric / unit-disk graphs on the unit
+// square or torus (the connectivity threshold is graph.ConnectivityRadius,
+// r_c = sqrt(ln n/(π n))), Matérn-style clustered placement, per-node
+// transmission radii (asymmetric links from heterogeneous transmit power),
+// and a mobility layer (graph.MobileNetwork: random-waypoint or resample
+// epochs emitting one CSR snapshot per epoch). Construction is O(n + m) via
+// a cell-grid spatial index into graph.Scratch storage; the G1–G6 experiment
+// battery in internal/expt maps broadcast and gossip behaviour across this
+// model class.
+//
 // The engine's hot path is vectorised: protocols implementing
 // radio.BatchBroadcaster (all Bernoulli-phase protocols here do) hand the
 // engine their whole per-round transmitter set in one call, drawn by

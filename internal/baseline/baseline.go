@@ -259,10 +259,10 @@ type ElsasserGasieniec struct {
 	p3prob     float64
 	phase3To   int
 	informedAt []int
-	all      []graph.NodeID // every informed node, informing order
-	eligible []graph.NodeID // informed during Phases 1-2 (rounds <= diam)
-	txs      radio.TxSet    // this round's transmitters (shared-draw set)
-	r        *rng.RNG
+	all        []graph.NodeID // every informed node, informing order
+	eligible   []graph.NodeID // informed during Phases 1-2 (rounds <= diam)
+	txs        radio.TxSet    // this round's transmitters (shared-draw set)
+	r          *rng.RNG
 }
 
 // NewElsasserGasieniec returns the protocol for edge probability p.

@@ -85,6 +85,15 @@ func (p *params) floatOr(key string, def float64) (float64, error) {
 	return v, nil
 }
 
+func (p *params) strOr(key, def string) (string, error) {
+	p.used[key] = true
+	s, ok := p.kv[key]
+	if !ok {
+		return def, nil
+	}
+	return s, nil
+}
+
 func (p *params) boolOr(key string, def bool) (bool, error) {
 	p.used[key] = true
 	s, ok := p.kv[key]
@@ -170,12 +179,72 @@ func ParseTopology(spec string) (*Topology, error) {
 		n, err1 := p.intOr("n", 800)
 		rmin, err2 := p.floatOr("rmin", 0.1)
 		rmax, err3 := p.floatOr("rmax", 0.1)
+		torus, err4 := p.boolOr("torus", false)
+		clusters, err5 := p.intOr("cluster", 0)
+		spread, err6 := p.floatOr("spread", 0)
+		if err := firstErr(err1, err2, err3, err4, err5, err6); err != nil {
+			return nil, err
+		}
+		spec := graph.GeomSpec{N: n, Radius: rmin, RadiusMax: rmax, Torus: torus,
+			Clusters: clusters, Spread: spread}
+		if clusters > 0 || spread > 0 {
+			spec.Placement = graph.PlaceCluster
+		}
+		topo = &Topology{Name: name, Build: func(seed uint64) *graph.Digraph {
+			g, _ := graph.Geometric(spec, rng.New(seed))
+			return g
+		}}
+	case "udg":
+		// Unit-disk graph: homogeneous radius, symmetric links. r defaults to
+		// twice the connectivity threshold (connected w.h.p.).
+		n, err1 := p.intOr("n", 1024)
+		r, err2 := p.floatOr("r", 0)
+		torus, err3 := p.boolOr("torus", false)
 		if err := firstErr(err1, err2, err3); err != nil {
 			return nil, err
 		}
+		if r == 0 {
+			r = 2 * graph.ConnectivityRadius(n)
+		}
+		rr := r
 		topo = &Topology{Name: name, Build: func(seed uint64) *graph.Digraph {
-			g, _ := graph.RandomGeometric(n, rmin, rmax, rng.New(seed))
-			return g
+			return graph.RGG(n, rr, torus, rng.New(seed))
+		}}
+	case "mobile":
+		// One epoch snapshot of a mobile geometric network: epoch=k advances
+		// the mobility model k epochs before building the topology.
+		n, err1 := p.intOr("n", 512)
+		r, err2 := p.floatOr("r", 0)
+		torus, err3 := p.boolOr("torus", false)
+		model, err4 := p.strOr("model", "waypoint")
+		vmin, err5 := p.floatOr("vmin", 0.02)
+		vmax, err6 := p.floatOr("vmax", 0.05)
+		epoch, err7 := p.intOr("epoch", 0)
+		if err := firstErr(err1, err2, err3, err4, err5, err6, err7); err != nil {
+			return nil, err
+		}
+		if r == 0 {
+			r = 2 * graph.ConnectivityRadius(n)
+		}
+		var mm graph.MobilityModel
+		switch model {
+		case "waypoint":
+			mm = graph.MobilityWaypoint
+		case "resample":
+			mm = graph.MobilityResample
+		default:
+			return nil, fmt.Errorf("%q: model must be waypoint or resample", spec)
+		}
+		if epoch < 0 {
+			return nil, fmt.Errorf("%q: epoch must be >= 0", spec)
+		}
+		gspec := graph.GeomSpec{N: n, Radius: r, Torus: torus}
+		topo = &Topology{Name: name, Build: func(seed uint64) *graph.Digraph {
+			m := graph.NewMobileNetwork(gspec, mm, vmin, vmax, rng.New(seed))
+			for e := 0; e < epoch; e++ {
+				m.Advance()
+			}
+			return m.Snapshot(graph.NewScratch())
 		}}
 	case "obs43":
 		n, err1 := p.intOr("n", 128)
@@ -239,7 +308,7 @@ func ParseTopology(spec string) (*Topology, error) {
 			return graph.Caterpillar(spine, legs)
 		}}
 	default:
-		return nil, fmt.Errorf("unknown topology %q (have gnp, grid, path, cycle, star, tree, complete, rgg, obs43, fig2, hypercube, torus, regular, barbell, caterpillar)", name)
+		return nil, fmt.Errorf("unknown topology %q (have gnp, grid, path, cycle, star, tree, complete, rgg, udg, mobile, obs43, fig2, hypercube, torus, regular, barbell, caterpillar)", name)
 	}
 	if err := p.checkUnused(); err != nil {
 		return nil, err

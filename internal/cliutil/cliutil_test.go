@@ -62,6 +62,73 @@ func TestParseTopologyRGG(t *testing.T) {
 	}
 }
 
+func TestParseTopologyGeometricModes(t *testing.T) {
+	// udg: homogeneous symmetric unit-disk graph, default radius 2·r_c.
+	topo, err := ParseTopology("udg:n=200")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := topo.Build(3)
+	if !g.IsSymmetric() {
+		t.Fatal("udg must be symmetric")
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// rgg with clustering and torus keys.
+	topo, err = ParseTopology("rgg:n=150,rmin=0.08,rmax=0.2,torus=true,cluster=4,spread=0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.N != 150 {
+		t.Fatalf("N=%d", topo.N)
+	}
+	if err := topo.Build(1).Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	// mobile: epoch=k advances the mobility model; epoch 0 and epoch 3 of the
+	// same seed differ, identical seeds agree.
+	m0, err := ParseTopology("mobile:n=120,model=waypoint,epoch=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m3, err := ParseTopology("mobile:n=120,model=waypoint,epoch=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0a, g0b, g3 := m0.Build(9), m0.Build(9), m3.Build(9)
+	if g0a.M() != g0b.M() {
+		t.Fatal("mobile build not deterministic per seed")
+	}
+	same := g0a.M() == g3.M()
+	if same {
+		for u := 0; u < g0a.N() && same; u++ {
+			out0, out3 := g0a.Out(int32(u)), g3.Out(int32(u))
+			if len(out0) != len(out3) {
+				same = false
+				break
+			}
+			for i := range out0 {
+				if out0[i] != out3[i] {
+					same = false
+					break
+				}
+			}
+		}
+	}
+	if same {
+		t.Fatal("epoch=3 snapshot identical to epoch=0 (nodes never moved)")
+	}
+	if _, err := ParseTopology("mobile:model=flying"); err == nil {
+		t.Fatal("bad mobility model should fail")
+	}
+	if _, err := ParseTopology("mobile:epoch=-1"); err == nil {
+		t.Fatal("negative epoch should fail")
+	}
+}
+
 func TestParseTopologyErrors(t *testing.T) {
 	for _, spec := range []string{
 		"", "nope", "gnp:n", "gnp:n=abc", "gnp:bogus=1", "grid:w=0",

@@ -58,17 +58,17 @@ func register(e Experiment) {
 }
 
 // All returns every registered experiment sorted by ID (figures first, then
-// theorem experiments, then extensions).
+// theorem experiments, then extensions, then the geometric battery).
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
 	return out
 }
 
-// idLess orders F* before E* before X*, numerically within a class.
+// idLess orders F* before E* before X* before G*, numerically within a class.
 func idLess(a, b string) bool {
 	rank := func(id string) (int, int) {
-		class := 3
+		class := 4
 		switch id[0] {
 		case 'F':
 			class = 0
@@ -76,6 +76,8 @@ func idLess(a, b string) bool {
 			class = 1
 		case 'X':
 			class = 2
+		case 'G':
+			class = 3
 		}
 		num := 0
 		fmt.Sscanf(id[1:], "%d", &num)

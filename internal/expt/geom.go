@@ -1,0 +1,358 @@
+package expt
+
+// The G battery: broadcasting and gossiping on the geometric ad hoc
+// topologies the paper's model is meant for — random geometric / unit-disk
+// graphs around the connectivity threshold, heterogeneous transmit power,
+// clustered deployments, and mobile epochs (internal/graph geom.go +
+// mobility.go). All trial loops generate topologies through the per-worker
+// graph.Scratch, so sweeps stay allocation-free.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+	"repro/internal/sweep"
+)
+
+func init() {
+	register(Experiment{ID: "G1", Title: "Broadcast on RGG vs radius around the connectivity threshold",
+		PaperRef: "§5 geometric model; Gupta–Kumar threshold", Run: runG1})
+	register(Experiment{ID: "G2", Title: "Gossip on unit-disk graphs",
+		PaperRef: "Thm 3.2 protocol off its G(n,p) home turf", Run: runG2})
+	register(Experiment{ID: "G3", Title: "Heterogeneous transmit power: asymmetric geometric links",
+		PaperRef: "§1.2 asymmetric ranges, geometric setting", Run: runG3})
+	register(Experiment{ID: "G4", Title: "Clustered (Matérn) deployments vs uniform placement",
+		PaperRef: "density-heterogeneous ad hoc networks", Run: runG4})
+	register(Experiment{ID: "G5", Title: "Mobile geometric broadcast: waypoint vs resample epochs",
+		PaperRef: "§1 mobility motivation, random-waypoint model", Run: runG5})
+	register(Experiment{ID: "G6", Title: "RGG scale sweep at fixed 2·r_c",
+		PaperRef: "geometric diameter scaling", Run: runG6})
+}
+
+// geomProbe estimates honest protocol parameters (mean degree, sampled
+// diameter) from one probe instance, the way a site survey would.
+func geomProbe(spec graph.GeomSpec, seed uint64) (meanDeg float64, diam int) {
+	probe, _ := graph.Geometric(spec, rng.New(seed))
+	meanDeg = float64(probe.M()) / float64(probe.N())
+	diam = graph.DiameterSampled(probe, 32, rng.New(seed^0x99))
+	if diam < 2 {
+		diam = 2
+	}
+	return meanDeg, diam
+}
+
+func runG1(cfg Config) []*sweep.Table {
+	n := 400
+	if cfg.Full {
+		n = 1600
+	}
+	rc := graph.ConnectivityRadius(n)
+	t := sweep.NewTable(
+		fmt.Sprintf("G1: broadcast on RGG(n=%d) vs radius (torus, r_c=%.4f)", n, rc),
+		"r/r_c", "mean degree", "protocol", "success", "informed fraction", "rounds", "tx/node")
+	for _, factor := range []float64{0.8, 1.0, 1.2, 1.5, 2.0, 3.0} {
+		spec := graph.GeomSpec{N: n, Radius: factor * rc, Torus: true}
+		meanDeg, Dest := geomProbe(spec, cfg.Seed^0x51)
+		for _, proto := range []struct {
+			name string
+			make func() radio.Broadcaster
+		}{
+			{"algorithm3", func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) }},
+			{"decay", func() radio.Broadcaster { return baseline.NewDecay(2*Dest + 16) }},
+		} {
+			proto := proto
+			out := runBroadcastTrials(cfg, broadcastTrial{
+				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+					g, _ := sc.Geometric(spec, rng.New(seed))
+					return g, 0
+				},
+				makeProto: proto.make,
+				opts:      radio.Options{MaxRounds: 200000},
+			})
+			rounds := math.NaN()
+			if sweep.RateOf(out, mSuccess) > 0 {
+				rounds = sweep.MeanOf(out, mRounds)
+			}
+			t.AddRow(sweep.F(factor), sweep.F(meanDeg), proto.name,
+				sweep.F(sweep.RateOf(out, mSuccess)),
+				sweep.F(sweep.MeanOf(out, mInformedF)),
+				sweep.F(rounds), sweep.F(sweep.MeanOf(out, mTxPerNode)))
+		}
+	}
+	t.Note = "The energy–time picture across the connectivity transition: below r_c the source's " +
+		"component caps the informed fraction regardless of energy; just above r_c the graph " +
+		"connects but long thin paths inflate rounds; by 2–3·r_c the diameter shrinks and " +
+		"both protocols cheapen. Radii are multiples of r_c = sqrt(ln n/(π n))."
+	return []*sweep.Table{t}
+}
+
+func runG2(cfg Config) []*sweep.Table {
+	n := 256
+	if cfg.Full {
+		n = 512
+	}
+	rc := graph.ConnectivityRadius(n)
+	spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
+	meanDeg, _ := geomProbe(spec, cfg.Seed^0x52)
+	pEff := meanDeg / float64(n)
+	a2budget := core.NewAlgorithm2(pEff).RoundBudget(n)
+	t := sweep.NewTable(
+		fmt.Sprintf("G2: gossip on the unit-disk graph UDG(n=%d, 2·r_c) — mean degree %.1f", n, meanDeg),
+		"protocol", "success", "rounds", "tx/node", "max tx/node")
+	for _, gp := range []struct {
+		name   string
+		make   func() radio.Gossiper
+		budget int
+	}{
+		{"algorithm2 (p from probe)", func() radio.Gossiper { return core.NewAlgorithm2(pEff) }, a2budget},
+		{"uniform q=0.05", func() radio.Gossiper { return &baseline.UniformGossip{Q: 0.05} }, 100000},
+		{"tdma", func() radio.Gossiper { return &baseline.TDMAGossip{} }, n * 2 * n},
+	} {
+		gp := gp
+		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
+			ts := scratchOf(tr)
+			g, _ := ts.graph.Geometric(spec, rng.New(tr.Seed))
+			res := radio.RunGossip(g, gp.make(), rng.New(rng.SubSeed(tr.Seed, 1)),
+				radio.GossipOptions{MaxRounds: gp.budget, StopWhenComplete: true})
+			m := sweep.Metrics{"success": 0, "rounds": math.NaN(),
+				"txPerNode": res.TxPerNode(), "maxNodeTx": float64(res.MaxNodeTx)}
+			if res.Completed() {
+				m["success"] = 1
+				m["rounds"] = float64(res.CompleteRound)
+			}
+			return m
+		})
+		rounds := math.NaN()
+		if sweep.RateOf(out, "success") > 0 {
+			rounds = sweep.MeanOf(out, "rounds")
+		}
+		t.AddRow(gp.name, sweep.F(sweep.RateOf(out, "success")), sweep.F(rounds),
+			sweep.F(sweep.MeanOf(out, "txPerNode")), sweep.F(sweep.MeanOf(out, "maxNodeTx")))
+	}
+	t.Note = "Algorithm 2's O(d·log n) analysis leans on G(n,p)'s expander-like mixing; the " +
+		"unit-disk graph has geometric diameter Θ(√(n/ln n)), so rumors must travel " +
+		"hop-by-hop. The comparison quantifies how much of the protocol's speed survives " +
+		"the topology class the ad hoc literature actually studies."
+	return []*sweep.Table{t}
+}
+
+func runG3(cfg Config) []*sweep.Table {
+	n := 500
+	if cfg.Full {
+		n = 1200
+	}
+	rc := graph.ConnectivityRadius(n)
+	base := 1.5 * rc
+	t := sweep.NewTable(
+		fmt.Sprintf("G3: heterogeneous transmit power on RGG(n=%d), base radius 1.5·r_c", n),
+		"r_max/r_min", "one-way links", "mean out-degree", "success", "informed fraction", "rounds", "tx/node")
+	for _, ratio := range []float64{1, 2, 4} {
+		spec := graph.GeomSpec{N: n, Radius: base, RadiusMax: ratio * base, Torus: true}
+		probe, _ := graph.Geometric(spec, rng.New(cfg.Seed^0x53))
+		asym := graph.AsymmetricEdges(probe)
+		meanDeg := float64(probe.M()) / float64(n)
+		Dest := graph.DiameterSampled(probe, 32, rng.New(cfg.Seed^0x54))
+		if Dest < 2 {
+			Dest = 2
+		}
+		out := runBroadcastTrials(cfg, broadcastTrial{
+			makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+				g, _ := sc.Geometric(spec, rng.New(seed))
+				return g, 0
+			},
+			makeProto: func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) },
+			opts:      radio.Options{MaxRounds: 200000},
+		})
+		rounds := math.NaN()
+		if sweep.RateOf(out, mSuccess) > 0 {
+			rounds = sweep.MeanOf(out, mRounds)
+		}
+		t.AddRow(sweep.F(ratio), fmt.Sprintf("%.2f", float64(asym)/float64(probe.M())),
+			sweep.F(meanDeg),
+			sweep.F(sweep.RateOf(out, mSuccess)),
+			sweep.F(sweep.MeanOf(out, mInformedF)),
+			sweep.F(rounds), sweep.F(sweep.MeanOf(out, mTxPerNode)))
+	}
+	t.Note = "Per-node radii uniform in [r, ratio·r]: strong radios reach far but hear only " +
+		"whoever reaches them, so a growing fraction of links is one-way — the paper's " +
+		"motivating asymmetry, realised geometrically. Extra range densifies the graph " +
+		"(shorter diameter, fewer rounds) while the oblivious protocol stays correct " +
+		"because it never relies on acknowledgements."
+	return []*sweep.Table{t}
+}
+
+func runG4(cfg Config) []*sweep.Table {
+	n := 600
+	if cfg.Full {
+		n = 1500
+	}
+	rc := graph.ConnectivityRadius(n)
+	r := 2 * rc
+	t := sweep.NewTable(
+		fmt.Sprintf("G4: uniform vs Matérn-clustered placement (n=%d, radius 2·r_c)", n),
+		"placement", "mean degree", "max/mean degree", "diameter", "success", "informed fraction", "rounds", "tx/node")
+	for _, v := range []struct {
+		name string
+		spec graph.GeomSpec
+	}{
+		{"uniform", graph.GeomSpec{N: n, Radius: r, Torus: true}},
+		{"clustered (√n parents)", graph.GeomSpec{N: n, Radius: r, Torus: true, Placement: graph.PlaceCluster}},
+		{"clustered (8 tight blobs)", graph.GeomSpec{N: n, Radius: r, Torus: true,
+			Placement: graph.PlaceCluster, Clusters: 8, Spread: r}},
+	} {
+		v := v
+		probe, _ := graph.Geometric(v.spec, rng.New(cfg.Seed^0x55))
+		deg := graph.Degrees(probe)
+		Dest := graph.DiameterSampled(probe, 32, rng.New(cfg.Seed^0x56))
+		if Dest < 2 {
+			Dest = 2
+		}
+		out := runBroadcastTrials(cfg, broadcastTrial{
+			makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+				g, _ := sc.Geometric(v.spec, rng.New(seed))
+				return g, 0
+			},
+			makeProto: func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) },
+			opts:      radio.Options{MaxRounds: 200000},
+		})
+		rounds := math.NaN()
+		if sweep.RateOf(out, mSuccess) > 0 {
+			rounds = sweep.MeanOf(out, mRounds)
+		}
+		t.AddRow(v.name, sweep.F(deg.MeanOut), sweep.F(float64(deg.MaxOut)/deg.MeanOut),
+			sweep.FInt(Dest),
+			sweep.F(sweep.RateOf(out, mSuccess)),
+			sweep.F(sweep.MeanOf(out, mInformedF)),
+			sweep.F(rounds), sweep.F(sweep.MeanOf(out, mTxPerNode)))
+	}
+	t.Note = "Matérn clustering concentrates nodes into dense blobs: intra-blob collisions get " +
+		"worse (max degree far above the mean) while blobs separated by more than the radius " +
+		"disconnect the network outright — informed fraction, not energy, is what clustering " +
+		"threatens. The uniform row is the G1 reference point."
+	return []*sweep.Table{t}
+}
+
+func runG5(cfg Config) []*sweep.Table {
+	n := 300
+	if cfg.Full {
+		n = 700
+	}
+	rc := graph.ConnectivityRadius(n)
+	sub := 0.8 * rc // below the threshold: static pockets strand the broadcast
+	epochs := 30
+	epochLen := 30
+	dGuess := int(2 / sub)
+	spec := graph.GeomSpec{N: n, Radius: sub, Torus: true}
+
+	t := sweep.NewTable(
+		fmt.Sprintf("G5: mobile geometric broadcast at subcritical radius 0.8·r_c (n=%d, %d epochs × %d rounds)",
+			n, epochs, epochLen),
+		"mobility", "success", "informed fraction", "rounds to complete")
+	type scenario struct {
+		name  string
+		build func(seed uint64) *graph.MobileNetwork
+	}
+	for _, sc := range []scenario{
+		{"static (no movement)", nil},
+		{"waypoint, slow (v ≈ 0.5·r per epoch)", func(seed uint64) *graph.MobileNetwork {
+			return graph.NewMobileNetwork(spec, graph.MobilityWaypoint, 0.3*sub, 0.7*sub, rng.New(seed))
+		}},
+		{"waypoint, fast (v ≈ 2·r per epoch)", func(seed uint64) *graph.MobileNetwork {
+			return graph.NewMobileNetwork(spec, graph.MobilityWaypoint, 1.5*sub, 2.5*sub, rng.New(seed))
+		}},
+		{"resample every epoch", func(seed uint64) *graph.MobileNetwork {
+			return graph.NewMobileNetwork(spec, graph.MobilityResample, 0, 0, rng.New(seed))
+		}},
+	} {
+		sc := sc
+		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
+			ts := scratchOf(tr)
+			proto := core.NewAlgorithm3(n, dGuess, 8) // wide window: survives epochs
+			sess := radio.NewBroadcastSession(n, 0, proto, rng.New(rng.SubSeed(tr.Seed, 1)))
+			var mob *graph.MobileNetwork
+			var static *graph.Digraph
+			if sc.build != nil {
+				mob = sc.build(tr.Seed)
+			} else {
+				// Static: one topology for the whole run. Nothing else touches
+				// the scratch in this branch, so the graph stays valid.
+				static, _ = ts.graph.Geometric(spec, rng.New(tr.Seed))
+			}
+			var res *radio.Result
+			for e := 0; e < epochs; e++ {
+				g := static
+				if mob != nil {
+					g = mob.Snapshot(ts.graph)
+				}
+				res = sess.Run(g, radio.Options{MaxRounds: epochLen, StopWhenInformed: true})
+				if res.Completed() {
+					break
+				}
+				if mob != nil {
+					mob.Advance()
+				}
+			}
+			m := sweep.Metrics{"success": 0,
+				"informedFrac": float64(res.Informed) / float64(n),
+				"rounds":       math.NaN()}
+			if res.Completed() {
+				m["success"] = 1
+				m["rounds"] = float64(res.InformedRound)
+			}
+			return m
+		})
+		rounds := math.NaN()
+		if sweep.RateOf(out, "success") > 0 {
+			rounds = sweep.MeanOf(out, "rounds")
+		}
+		t.AddRow(sc.name, sweep.F(sweep.RateOf(out, "success")),
+			sweep.F(sweep.MeanOf(out, "informedFrac")), sweep.F(rounds))
+	}
+	t.Note = "Below the connectivity threshold a static network strands the broadcast in the " +
+		"source's pocket. Movement substitutes for density: even slow random-waypoint motion " +
+		"lets the informed set leak between pockets across epochs, and full re-sampling " +
+		"(teleport mobility) is the best case. Knowledge is carried across topology changes " +
+		"by radio.BroadcastSession; the oblivious protocol just follows its schedule."
+	return []*sweep.Table{t}
+}
+
+func runG6(cfg Config) []*sweep.Table {
+	ns := []int{256, 1024, 4096}
+	if cfg.Full {
+		ns = append(ns, 16384)
+	}
+	t := sweep.NewTable(
+		"G6: RGG scale sweep at radius 2·r_c (torus)",
+		"n", "r_c", "mean degree", "diameter", "rounds", "rounds/diameter", "tx/node")
+	for _, n := range ns {
+		n := n
+		rc := graph.ConnectivityRadius(n)
+		spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
+		meanDeg, Dest := geomProbe(spec, cfg.Seed^0x57)
+		out := runBroadcastTrials(cfg, broadcastTrial{
+			makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+				g, _ := sc.Geometric(spec, rng.New(seed))
+				return g, 0
+			},
+			makeProto: func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) },
+			opts:      radio.Options{MaxRounds: 400000},
+		})
+		rounds := math.NaN()
+		if sweep.RateOf(out, mSuccess) > 0 {
+			rounds = sweep.MeanOf(out, mRounds)
+		}
+		t.AddRow(sweep.FInt(n), fmt.Sprintf("%.4f", rc), sweep.F(meanDeg), sweep.FInt(Dest),
+			sweep.F(rounds), sweep.F(rounds/float64(Dest)),
+			sweep.F(sweep.MeanOf(out, mTxPerNode)))
+	}
+	t.Note = "At r = 2·r_c the mean degree grows like 4·ln n while the hop diameter grows like " +
+		"√(n/ln n) — the geometric regime where broadcast time is diameter-bound, unlike " +
+		"G(n,p)'s logarithmic diameter. rounds/diameter holding near-constant shows " +
+		"Algorithm 3 pays a per-hop constant, the right cost model for these networks."
+	return []*sweep.Table{t}
+}

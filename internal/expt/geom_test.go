@@ -1,0 +1,145 @@
+package expt
+
+import (
+	"testing"
+)
+
+func TestG1RadiusTransition(t *testing.T) {
+	tb := runByID(t, "G1")[0]
+	frac := colIndex(t, tb, "informed fraction")
+	factor := colIndex(t, tb, "r/r_c")
+	// Coverage must improve across the connectivity transition: the widest
+	// radius informs (nearly) everyone, the subcritical radius cannot.
+	var below, above float64 = -1, -1
+	for r := range tb.Rows {
+		switch cellF(t, tb, r, factor) {
+		case 0.8:
+			if below < 0 {
+				below = cellF(t, tb, r, frac)
+			}
+		case 3.0:
+			above = cellF(t, tb, r, frac)
+		}
+	}
+	if below < 0 || above < 0 {
+		t.Fatal("missing radius rows")
+	}
+	if above < 0.99 {
+		t.Fatalf("3·r_c should reach everyone, informed fraction %v", above)
+	}
+	if below > 0.9 {
+		t.Fatalf("0.8·r_c should strand part of the network, informed fraction %v", below)
+	}
+}
+
+func TestG2GossipOnUDG(t *testing.T) {
+	tb := runByID(t, "G2")[0]
+	succ := colIndex(t, tb, "success")
+	if len(tb.Rows) != 3 {
+		t.Fatalf("G2 rows: %d", len(tb.Rows))
+	}
+	best := 0.0
+	for r := range tb.Rows {
+		v := cellF(t, tb, r, succ)
+		if v < 0 || v > 1 {
+			t.Fatalf("row %d success %v outside [0,1]", r, v)
+		}
+		if v > best {
+			best = v
+		}
+	}
+	// At least one gossip protocol must actually complete on the UDG — the
+	// experiment compares degradation, it must not be all-fail.
+	if best < 0.75 {
+		t.Fatalf("no gossip protocol completes on the UDG, best success %v", best)
+	}
+}
+
+func TestG3AsymmetryGrowsWithPowerSpread(t *testing.T) {
+	tb := runByID(t, "G3")[0]
+	oneway := colIndex(t, tb, "one-way")
+	succ := colIndex(t, tb, "success")
+	prev := -1.0
+	for r := range tb.Rows {
+		v := cellF(t, tb, r, oneway)
+		if v < prev {
+			t.Fatalf("one-way link fraction not non-decreasing in power spread: row %d has %v after %v", r, v, prev)
+		}
+		prev = v
+		if s := cellF(t, tb, r, succ); s < 0.75 {
+			t.Fatalf("row %d: broadcast fragile under asymmetric links, success %v", r, s)
+		}
+	}
+	if prev == 0 {
+		t.Fatal("widest power spread produced no asymmetric links")
+	}
+}
+
+func TestG4ClusteringConcentratesDegree(t *testing.T) {
+	tb := runByID(t, "G4")[0]
+	place := colIndex(t, tb, "placement")
+	ratio := colIndex(t, tb, "max/mean degree")
+	succ := colIndex(t, tb, "success")
+	frac := colIndex(t, tb, "informed fraction")
+	var uniRatio, blobRatio float64 = -1, -1
+	for r := range tb.Rows {
+		switch tb.Rows[r][place] {
+		case "uniform":
+			uniRatio = cellF(t, tb, r, ratio)
+			if v := cellF(t, tb, r, succ); v < 0.75 {
+				t.Fatalf("uniform placement success %v", v)
+			}
+			if v := cellF(t, tb, r, frac); v < 0.99 {
+				t.Fatalf("uniform placement informed fraction %v", v)
+			}
+		case "clustered (8 tight blobs)":
+			blobRatio = cellF(t, tb, r, ratio)
+		}
+	}
+	if uniRatio < 0 || blobRatio < 0 {
+		t.Fatal("missing placement rows")
+	}
+	if blobRatio <= uniRatio {
+		t.Fatalf("tight clustering should concentrate degree: blobs %v vs uniform %v", blobRatio, uniRatio)
+	}
+}
+
+func TestG5MobilityRescuesSubcriticalBroadcast(t *testing.T) {
+	tb := runByID(t, "G5")[0]
+	scen := colIndex(t, tb, "mobility")
+	frac := colIndex(t, tb, "informed fraction")
+	var static, moving float64 = -1, -1
+	for r := range tb.Rows {
+		name := tb.Rows[r][scen]
+		switch {
+		case name == "static (no movement)":
+			static = cellF(t, tb, r, frac)
+		case moving < 0 && name != "static (no movement)":
+			moving = cellF(t, tb, r, frac)
+		}
+	}
+	if static < 0 || moving < 0 {
+		t.Fatal("missing scenarios")
+	}
+	if moving <= static+0.3 {
+		t.Fatalf("mobility should rescue coverage: static %v vs mobile %v", static, moving)
+	}
+}
+
+func TestG6DiameterBoundScaling(t *testing.T) {
+	tb := runByID(t, "G6")[0]
+	rounds := colIndex(t, tb, "rounds")
+	diam := colIndex(t, tb, "diameter")
+	if len(tb.Rows) < 3 {
+		t.Fatalf("G6 rows: %d", len(tb.Rows))
+	}
+	// The geometric regime is diameter-bound: both diameter and rounds must
+	// grow with n.
+	first, last := 0, len(tb.Rows)-1
+	if cellF(t, tb, last, diam) <= cellF(t, tb, first, diam) {
+		t.Fatalf("diameter did not grow with n: %v -> %v", tb.Rows[first][diam], tb.Rows[last][diam])
+	}
+	if cellF(t, tb, last, rounds) <= cellF(t, tb, first, rounds) {
+		t.Fatalf("rounds did not grow with n: %v -> %v", tb.Rows[first][rounds], tb.Rows[last][rounds])
+	}
+}

@@ -369,58 +369,8 @@ func RandomGeometric(n int, rmin, rmax float64, r *rng.RNG) (*Digraph, []Geometr
 }
 
 // GeometricFromPoints builds the heterogeneous-range geometric digraph for a
-// fixed set of points (u → v iff dist(u,v) ≤ pts[u].Radius).
+// fixed set of points (u → v iff dist(u,v) ≤ pts[u].Radius) via the cell-grid
+// index (see Scratch.FromPoints).
 func GeometricFromPoints(pts []GeometricPoint) *Digraph {
-	n := len(pts)
-	b := NewBuilder(n)
-	rmax := 0.0
-	for _, p := range pts {
-		if p.Radius > rmax {
-			rmax = p.Radius
-		}
-	}
-	cell := rmax
-	if cell <= 0 {
-		panic("graph: all radii must be positive")
-	}
-	cols := int(1/cell) + 1
-	buckets := make(map[int][]NodeID)
-	key := func(cx, cy int) int { return cy*cols + cx }
-	cellOf := func(p GeometricPoint) (int, int) {
-		cx := int(p.X / cell)
-		cy := int(p.Y / cell)
-		if cx >= cols {
-			cx = cols - 1
-		}
-		if cy >= cols {
-			cy = cols - 1
-		}
-		return cx, cy
-	}
-	for i, p := range pts {
-		cx, cy := cellOf(p)
-		buckets[key(cx, cy)] = append(buckets[key(cx, cy)], NodeID(i))
-	}
-	for u, p := range pts {
-		cx, cy := cellOf(p)
-		for dy := -1; dy <= 1; dy++ {
-			for dx := -1; dx <= 1; dx++ {
-				nx, ny := cx+dx, cy+dy
-				if nx < 0 || ny < 0 || nx >= cols || ny >= cols {
-					continue
-				}
-				for _, v := range buckets[key(nx, ny)] {
-					if int(v) == u {
-						continue
-					}
-					ddx := pts[v].X - p.X
-					ddy := pts[v].Y - p.Y
-					if ddx*ddx+ddy*ddy <= p.Radius*p.Radius {
-						b.AddEdge(NodeID(u), v)
-					}
-				}
-			}
-		}
-	}
-	return b.Build()
+	return NewScratch().FromPoints(pts, false)
 }

@@ -1,0 +1,329 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"slices"
+
+	"repro/internal/rng"
+)
+
+// This file is the geometric ad hoc topology subsystem: random geometric /
+// unit-disk graphs on the unit square or torus, density-heterogeneous
+// placement (Matérn-style clustering), and per-node transmission radii
+// (heterogeneous transmit power ⇒ asymmetric links). Construction runs in
+// O(n + m) expected time via a uniform cell-grid spatial index that writes
+// CSR adjacency directly into graph.Scratch storage, so sweep trial loops
+// regenerate topologies allocation-free — there is no O(n²) pairwise scan
+// anywhere on this path.
+
+// Placement selects how node positions are sampled in the unit square.
+type Placement int
+
+const (
+	// PlaceUniform scatters nodes independently and uniformly.
+	PlaceUniform Placement = iota
+	// PlaceCluster is a Matérn-style cluster process: Clusters parent sites
+	// are placed uniformly, then every node picks a uniform parent and
+	// scatters around it with a Gaussian of standard deviation Spread.
+	// Density is heterogeneous: dense blobs separated by near-empty space.
+	PlaceCluster
+)
+
+// GeomSpec describes one geometric topology family instance.
+type GeomSpec struct {
+	// N is the node count.
+	N int
+	// Radius is the (minimum) transmission radius. With RadiusMax unset or
+	// equal, every node transmits to distance Radius and the graph is a
+	// symmetric unit-disk graph.
+	Radius float64
+	// RadiusMax, when > Radius, gives every node its own radius uniform in
+	// [Radius, RadiusMax] — heterogeneous transmit power, so u may hear v
+	// without v hearing u (the paper's asymmetric-link motivation).
+	RadiusMax float64
+	// Torus wraps distances around the unit square, removing boundary
+	// effects (the standard trick for clean threshold experiments).
+	Torus bool
+	// Placement selects the point process (default PlaceUniform).
+	Placement Placement
+	// Clusters is the number of Matérn parent sites for PlaceCluster
+	// (default ≈ √N when unset).
+	Clusters int
+	// Spread is the Gaussian scatter radius around a parent for
+	// PlaceCluster (default 2·Radius when unset).
+	Spread float64
+}
+
+// ConnectivityRadius returns the sharp connectivity threshold radius of a
+// uniform RGG on the unit square, r_c(n) = sqrt(ln n / (π n)): below it the
+// graph has isolated vertices w.h.p., above it it is connected w.h.p.
+// (Gupta–Kumar / Penrose). Geometric experiments parameterise radii as
+// multiples of this quantity.
+func ConnectivityRadius(n int) float64 {
+	if n < 2 {
+		return math.Sqrt2
+	}
+	return math.Sqrt(math.Log(float64(n)) / (math.Pi * float64(n)))
+}
+
+func (spec GeomSpec) check() {
+	if spec.N < 1 {
+		panic("graph: geometric spec needs N >= 1")
+	}
+	if spec.Radius <= 0 || spec.Radius > math.Sqrt2 {
+		panic(fmt.Sprintf("graph: geometric radius %g out of (0, sqrt(2)]", spec.Radius))
+	}
+	if spec.RadiusMax != 0 && (spec.RadiusMax < spec.Radius || spec.RadiusMax > math.Sqrt2) {
+		panic(fmt.Sprintf("graph: geometric radius range [%g, %g] invalid", spec.Radius, spec.RadiusMax))
+	}
+	if spec.Placement == PlaceCluster && spec.Clusters < 0 {
+		panic("graph: negative cluster count")
+	}
+}
+
+// samplePoints fills dst (resized as needed) with spec.N positions and radii
+// drawn from r, and returns it along with the (possibly grown) parent-site
+// buffer — callers that sample repeatedly pass the returned buffer back in so
+// clustered placement stays allocation-free too. All randomness comes from r
+// in a fixed order, so instances are pure functions of the seed.
+func samplePoints(spec GeomSpec, r *rng.RNG, dst []GeometricPoint, parents []float64) ([]GeometricPoint, []float64) {
+	spec.check()
+	if cap(dst) < spec.N {
+		dst = make([]GeometricPoint, spec.N)
+	}
+	dst = dst[:spec.N]
+	switch spec.Placement {
+	case PlaceUniform:
+		for i := range dst {
+			dst[i].X, dst[i].Y = r.Float64(), r.Float64()
+		}
+	case PlaceCluster:
+		k := spec.Clusters
+		if k == 0 {
+			k = int(math.Ceil(math.Sqrt(float64(spec.N))))
+		}
+		if k > spec.N {
+			k = spec.N
+		}
+		spread := spec.Spread
+		if spread <= 0 {
+			spread = 2 * spec.Radius
+		}
+		// Parent sites first (x at [i], y at [k+i]), then children; one
+		// parent draw + two Gaussian scatters per node.
+		if cap(parents) < 2*k {
+			parents = make([]float64, 2*k)
+		}
+		parents = parents[:2*k]
+		for i := 0; i < k; i++ {
+			parents[i], parents[k+i] = r.Float64(), r.Float64()
+		}
+		for i := range dst {
+			p := r.Intn(k)
+			dst[i].X = wrapOrReflect(parents[p]+spread*r.Normal(), spec.Torus)
+			dst[i].Y = wrapOrReflect(parents[k+p]+spread*r.Normal(), spec.Torus)
+		}
+	default:
+		panic("graph: unknown placement")
+	}
+	if spec.RadiusMax > spec.Radius {
+		for i := range dst {
+			dst[i].Radius = spec.Radius + (spec.RadiusMax-spec.Radius)*r.Float64()
+		}
+	} else {
+		for i := range dst {
+			dst[i].Radius = spec.Radius
+		}
+	}
+	return dst, parents
+}
+
+// wrapOrReflect maps a scattered coordinate back into [0, 1): modular wrap on
+// the torus (cluster mass is conserved across the seam), mirror reflection on
+// the square (keeps boundary clusters dense instead of clipping them).
+func wrapOrReflect(x float64, torus bool) float64 {
+	if torus {
+		x = math.Mod(x, 1)
+		if x < 0 {
+			x++
+		}
+		if x >= 1 { // -ε + 1 can round to exactly 1.0
+			x = 0
+		}
+		return x
+	}
+	// Reflect x into [0, 2) period, then fold [1, 2) back onto (0, 1].
+	x = math.Mod(math.Abs(x), 2)
+	if x >= 1 {
+		x = 2 - x
+	}
+	if x == 1 { // fold the closed endpoint back inside
+		x = math.Nextafter(1, 0)
+	}
+	return x
+}
+
+// Geometric samples a geometric instance into the scratch's reusable storage
+// and returns the digraph plus the sampled points. Both alias scratch storage
+// and are valid only until the next generation call on s.
+func (s *Scratch) Geometric(spec GeomSpec, r *rng.RNG) (*Digraph, []GeometricPoint) {
+	s.pts, s.parents = samplePoints(spec, r, s.pts, s.parents)
+	return s.FromPoints(s.pts, spec.Torus), s.pts
+}
+
+// FromPoints builds the geometric digraph for a fixed point set (u → v iff
+// dist(u, v) ≤ pts[u].Radius) into the scratch's reusable storage, using a
+// cell-grid spatial index: points are bucketed into a uniform grid with cell
+// width ≥ the maximum radius, so each node only tests candidates in its 3×3
+// cell neighbourhood — O(n + m) expected for radii near the connectivity
+// threshold. The returned graph aliases scratch storage (valid until the
+// next generation call); pts may be external (e.g. a mobility model's) and
+// is not retained.
+func (s *Scratch) FromPoints(pts []GeometricPoint, torus bool) *Digraph {
+	n := len(pts)
+	if n < 1 {
+		panic("graph: geometric needs at least one point")
+	}
+	if n > 1<<31-1 {
+		panic("graph: too many nodes for int32 ids")
+	}
+	rmax := 0.0
+	for i := range pts {
+		if pts[i].Radius > rmax {
+			rmax = pts[i].Radius
+		}
+	}
+	if rmax <= 0 {
+		panic("graph: all radii must be positive")
+	}
+
+	// Grid resolution: cells must be at least rmax wide (so a disk of radius
+	// rmax is covered by the 3×3 neighbourhood), and we cap the cell count
+	// at ~n so the index arrays stay O(n) even for tiny radii.
+	cols := int(1 / rmax)
+	if maxCols := int(math.Sqrt(float64(n))) + 1; cols > maxCols {
+		cols = maxCols
+	}
+	if cols < 1 {
+		cols = 1
+	}
+	cellW := 1.0 / float64(cols)
+	cellOf := func(x float64) int {
+		c := int(x / cellW)
+		if c >= cols {
+			c = cols - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	// Bucket points by cell with a counting sort into CSR-style buckets.
+	nCells := cols * cols
+	s.cellOff = growOffsets(s.cellOff, nCells+1)
+	for i := range s.cellOff {
+		s.cellOff[i] = 0
+	}
+	s.cellIDs = growIDs(s.cellIDs, n)
+	for i := range pts {
+		s.cellOff[cellOf(pts[i].Y)*cols+cellOf(pts[i].X)+1]++
+	}
+	for c := 0; c < nCells; c++ {
+		s.cellOff[c+1] += s.cellOff[c]
+	}
+	if cap(s.pos) < nCells {
+		s.pos = make([]int32, nCells)
+	} else {
+		s.pos = s.pos[:nCells]
+		for i := range s.pos {
+			s.pos[i] = 0
+		}
+	}
+	for i := range pts {
+		c := cellOf(pts[i].Y)*cols + cellOf(pts[i].X)
+		s.cellIDs[s.cellOff[c]+int(s.pos[c])] = NodeID(i)
+		s.pos[c]++
+	}
+
+	g := &s.g
+	g.n = n
+	g.outOff = growOffsets(g.outOff, n+1)
+	g.inOff = growOffsets(g.inOff, n+1)
+	g.outTo = g.outTo[:0]
+	g.outOff[0] = 0
+
+	// For each node, scan its 3×3 cell neighbourhood (deduplicated, so tiny
+	// grids and torus wrap-around never double-count a cell) and keep the
+	// candidates inside the node's own radius.
+	var nbr [9]int
+	for u := 0; u < n; u++ {
+		p := pts[u]
+		cx, cy := cellOf(p.X), cellOf(p.Y)
+		rr := p.Radius * p.Radius
+		cells := nbr[:0]
+		for dy := -1; dy <= 1; dy++ {
+			for dx := -1; dx <= 1; dx++ {
+				nx, ny := cx+dx, cy+dy
+				if torus {
+					nx, ny = (nx+cols)%cols, (ny+cols)%cols
+				} else if nx < 0 || ny < 0 || nx >= cols || ny >= cols {
+					continue
+				}
+				key := ny*cols + nx
+				if !slices.Contains(cells, key) {
+					cells = append(cells, key)
+				}
+			}
+		}
+		start := len(g.outTo)
+		for _, c := range cells {
+			for _, v := range s.cellIDs[s.cellOff[c]:s.cellOff[c+1]] {
+				if int(v) == u {
+					continue
+				}
+				ddx := pts[v].X - p.X
+				ddy := pts[v].Y - p.Y
+				if torus {
+					if ddx < 0 {
+						ddx = -ddx
+					}
+					if ddx > 0.5 {
+						ddx = 1 - ddx
+					}
+					if ddy < 0 {
+						ddy = -ddy
+					}
+					if ddy > 0.5 {
+						ddy = 1 - ddy
+					}
+				}
+				if ddx*ddx+ddy*ddy <= rr {
+					g.outTo = append(g.outTo, v)
+				}
+			}
+		}
+		// Cells are visited in grid order, not id order; restore the CSR
+		// sorted-adjacency invariant per node.
+		slices.Sort(g.outTo[start:])
+		g.outOff[u+1] = len(g.outTo)
+	}
+	s.finishIn()
+	return g
+}
+
+// Geometric samples a geometric instance with fresh storage (the convenience
+// entry point; sweeps use Scratch.Geometric to reuse storage across trials).
+func Geometric(spec GeomSpec, r *rng.RNG) (*Digraph, []GeometricPoint) {
+	return NewScratch().Geometric(spec, r)
+}
+
+// RGG samples the homogeneous random geometric graph RGG(n, radius) — the
+// canonical unknown ad hoc network model: n uniform points, symmetric links
+// between every pair within distance radius. torus selects wrap-around
+// distances.
+func RGG(n int, radius float64, torus bool, r *rng.RNG) *Digraph {
+	g, _ := Geometric(GeomSpec{N: n, Radius: radius, Torus: torus}, r)
+	return g
+}

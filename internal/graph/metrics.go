@@ -127,6 +127,21 @@ func ReachableFrom(g *Digraph, src NodeID) int {
 	return reach
 }
 
+// AsymmetricEdges counts the directed edges whose reverse is absent — the
+// one-way links produced by heterogeneous transmission radii (u hears v but
+// not vice versa).
+func AsymmetricEdges(g *Digraph) int {
+	asym := 0
+	for u := 0; u < g.N(); u++ {
+		for _, v := range g.Out(NodeID(u)) {
+			if !g.HasEdge(v, NodeID(u)) {
+				asym++
+			}
+		}
+	}
+	return asym
+}
+
 // IsStronglyConnected reports whether every node can reach every other node.
 // Implemented as two BFS passes (from node 0 in G and in the transpose),
 // which is equivalent to Kosaraju's check for a single component.

@@ -10,6 +10,14 @@ import "repro/internal/rng"
 type Scratch struct {
 	g   Digraph
 	pos []int32 // per-node fill cursor for the in-adjacency pass
+
+	// Geometric-generation storage (see geom.go): sampled points, clustered-
+	// placement parent sites, and the cell-grid spatial index (CSR buckets of
+	// node ids grouped by cell).
+	pts     []GeometricPoint
+	parents []float64
+	cellOff []int
+	cellIDs []NodeID
 }
 
 // NewScratch returns an empty scratch; storage is sized on first use.
@@ -80,9 +88,17 @@ func (s *Scratch) GNPDirected(n int, p float64, r *rng.RNG) *Digraph {
 		}
 	}
 
-	// In-adjacency by counting sort: count in-degrees, prefix-sum, then fill
-	// by walking the out-lists in u order — which leaves every in-list
-	// sorted, matching the Builder invariant.
+	s.finishIn()
+	return g
+}
+
+// finishIn derives the in-adjacency of s.g from its completed out-adjacency
+// by counting sort: count in-degrees, prefix-sum, then fill by walking the
+// out-lists in u order — which leaves every in-list sorted, matching the
+// Builder invariant.
+func (s *Scratch) finishIn() {
+	g := &s.g
+	n := g.n
 	m := len(g.outTo)
 	g.inTo = growIDs(g.inTo, m)
 	for i := range g.inOff {
@@ -109,5 +125,4 @@ func (s *Scratch) GNPDirected(n int, p float64, r *rng.RNG) *Digraph {
 			s.pos[v]++
 		}
 	}
-	return g
 }

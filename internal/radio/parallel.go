@@ -36,12 +36,12 @@ type parallelDeliverer struct {
 	shards  int
 
 	hits    []int32
-	st      deliveryState        // serial fallback for small rounds
-	buckets [][][]graph.NodeID   // [worker][shard] hit receivers
-	touched [][]graph.NodeID     // per-shard first-touch lists
-	outD    [][]graph.NodeID     // per-shard delivered lists
-	colls   []int                // per-shard collision counts
-	merged  []graph.NodeID       // concatenated delivered scratch
+	st      deliveryState      // serial fallback for small rounds
+	buckets [][][]graph.NodeID // [worker][shard] hit receivers
+	touched [][]graph.NodeID   // per-shard first-touch lists
+	outD    [][]graph.NodeID   // per-shard delivered lists
+	colls   []int              // per-shard collision counts
+	merged  []graph.NodeID     // concatenated delivered scratch
 }
 
 func newParallelDeliverer(n, workers int) *parallelDeliverer {

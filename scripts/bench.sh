@@ -1,29 +1,63 @@
 #!/usr/bin/env bash
 # Benchmark-regression harness: runs the Primitive micro-benchmarks with
-# allocation stats and writes the raw `go test -json` stream to
-# BENCH_<date>.json in the repo root, so successive PRs can diff ns/op and
-# allocs/op. Usage:
+# allocation stats, writes the raw `go test -json` stream to an output file,
+# and derives a benchstat-compatible text file next to it, so successive PRs
+# (and the CI bench gate) can diff ns/op and allocs/op. Usage:
 #
-#   scripts/bench.sh                 # count=5, all Primitive benchmarks
-#   COUNT=1 scripts/bench.sh Decision  # quick smoke of a subset
+#   scripts/bench.sh                         # count=5, all Primitive benchmarks
+#   COUNT=1 scripts/bench.sh Decision        # quick smoke of a subset
+#   scripts/bench.sh -o /tmp/BENCH_pr.json   # deterministic artifact name (CI)
+#
+# The JSON stream goes to OUT (default BENCH_<date>.json in the repo root) and
+# the benchmark lines to ${OUT%.json}.txt. Relative -o paths are resolved
+# against the bench root. BENCH_ROOT overrides the tree to benchmark (the CI
+# gate points it at a merge-base worktree); it defaults to this repo.
+#
+# Exits with go test's status: a benchmark that fails to build, crashes, or
+# fails mid-run fails the harness — the stream is written directly to the
+# output file, never through a pipeline that could swallow the status.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+
+OUT=""
+while getopts "o:h" opt; do
+  case $opt in
+    o) OUT="$OPTARG" ;;
+    h) grep '^#' "$0" | sed 's/^# \{0,1\}//'; exit 0 ;;
+    *) echo "usage: scripts/bench.sh [-o out.json] [pattern]" >&2; exit 2 ;;
+  esac
+done
+shift $((OPTIND - 1))
 
 COUNT="${COUNT:-5}"
 PATTERN="${1:-Primitive}"
-OUT="BENCH_$(date +%Y%m%d).json"
+
+cd "${BENCH_ROOT:-$(dirname "$0")/..}"
+if [[ -z "${OUT}" ]]; then
+  OUT="BENCH_$(date +%Y%m%d).json"
+fi
+TXT="${OUT%.json}.txt"
 
 echo "running go test -bench=${PATTERN} -benchmem -count=${COUNT} -> ${OUT}" >&2
-# pipefail propagates a go test failure through the display filter, so a
-# broken or crashing benchmark fails the harness instead of writing junk.
-go test -run '^$' -bench="${PATTERN}" -benchmem -count="${COUNT}" -json . | tee "${OUT}" \
-  | python3 -c 'import json,sys
-for line in sys.stdin:
+status=0
+go test -run '^$' -bench="${PATTERN}" -benchmem -count="${COUNT}" -json . > "${OUT}" || status=$?
+
+# Benchstat-compatible text form: the benchmark result lines plus the
+# goos/goarch/pkg/cpu context header.
+python3 - "${OUT}" > "${TXT}" <<'EOF'
+import json, sys
+for line in open(sys.argv[1]):
     try:
         ev = json.loads(line)
     except ValueError:
         continue
     out = ev.get("Output", "")
-    if "ns/op" in out or out.startswith("Benchmark"):
-        sys.stdout.write(out)'
-echo "wrote ${OUT}" >&2
+    if out.startswith(("Benchmark", "goos:", "goarch:", "pkg:", "cpu:")) or "ns/op" in out:
+        sys.stdout.write(out)
+EOF
+cat "${TXT}"
+
+if [[ ${status} -ne 0 ]]; then
+  echo "bench.sh: go test exited with status ${status}" >&2
+  exit "${status}"
+fi
+echo "wrote ${OUT} and ${TXT}" >&2

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Bench-regression gate: compares two benchmark text files (the ${OUT%.json}.txt
+# form written by scripts/bench.sh) and fails when the geometric mean of the
+# per-benchmark ns/op ratios (PR ÷ base) exceeds the slowdown threshold.
+#
+#   scripts/bench_gate.sh BENCH_base.txt BENCH_pr.txt [threshold-pct]
+#
+# The threshold defaults to 20 (fail on a >20% geomean slowdown). Only
+# benchmarks present on both sides are compared; means are taken across
+# repeated -count runs. CI pairs this hard gate with a human-readable
+# `benchstat base pr` report — benchstat's per-benchmark p-values catch
+# individual regressions this aggregate test tolerates.
+set -euo pipefail
+
+if [[ $# -lt 2 ]]; then
+  echo "usage: scripts/bench_gate.sh BASE.txt PR.txt [threshold-pct]" >&2
+  exit 2
+fi
+base="$1"
+pr="$2"
+thresh="${3:-20}"
+
+awk -v thresh="${thresh}" '
+FNR == 1 { file++ }
+/^Benchmark/ {
+  # "BenchmarkFoo-8  120  12345 ns/op ..." — strip the GOMAXPROCS suffix and
+  # pick the value preceding the ns/op unit.
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  v = -1
+  for (i = 2; i < NF; i++) {
+    if ($(i + 1) == "ns/op") { v = $i; break }
+  }
+  if (v < 0) next
+  if (file == 1) { bsum[name] += v; bcnt[name]++ }
+  else          { psum[name] += v; pcnt[name]++ }
+}
+END {
+  n = 0; logsum = 0
+  for (name in bsum) {
+    if (!(name in psum)) continue
+    b = bsum[name] / bcnt[name]
+    p = psum[name] / pcnt[name]
+    if (b <= 0 || p <= 0) continue
+    r = p / b
+    logsum += log(r)
+    n++
+    printf "%-48s base %14.1f ns/op   pr %14.1f ns/op   ratio %.3f\n", name, b, p, r
+  }
+  if (n == 0) {
+    print "bench_gate: no common benchmarks between the two files" > "/dev/stderr"
+    exit 2
+  }
+  g = exp(logsum / n)
+  printf "geomean ratio %.4f (%+.2f%%) over %d benchmarks; threshold +%d%%\n", g, (g - 1) * 100, n, thresh
+  if ((g - 1) * 100 > thresh) {
+    printf "bench_gate: FAIL — geomean slowdown exceeds %d%%\n", thresh > "/dev/stderr"
+    exit 1
+  }
+  print "bench_gate: OK"
+}' "${base}" "${pr}"
