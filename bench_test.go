@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/energy"
 	"repro/internal/expt"
 	"repro/internal/graph"
 	"repro/internal/radio"
@@ -348,3 +349,48 @@ func BenchmarkX6Mobility(b *testing.B)  { runExperiment(b, "X6", "", "") }
 func BenchmarkX7Battery(b *testing.B) { runExperiment(b, "X7", "", "") }
 
 func BenchmarkX8Heterogeneous(b *testing.B) { runExperiment(b, "X8", "", "") }
+
+// --- the network-lifetime battery (internal/energy) ---
+
+func BenchmarkN1Lifetime(b *testing.B)       { runExperiment(b, "N1", "", "") }
+func BenchmarkN2Pareto(b *testing.B)         { runExperiment(b, "N2", "totalE/node", "totalE/node") }
+func BenchmarkN3ListenCost(b *testing.B)     { runExperiment(b, "N3", "", "") }
+func BenchmarkN4HeteroBattery(b *testing.B)  { runExperiment(b, "N4", "", "") }
+func BenchmarkN5MobileLifetime(b *testing.B) { runExperiment(b, "N5", "", "") }
+
+// --- energy-path micro-benchmarks: the same hot paths as the disabled-model
+// Primitives, with per-round radio-state accounting and battery budgets on.
+// The budgets are sized to never deplete, so the workload is identical to
+// the unmetered benchmark and per-op deltas isolate the accounting cost
+// (lazy per-node folds + the death-prediction heap).
+
+func BenchmarkPrimitiveAlgorithm1RunEnergy(b *testing.B) {
+	n := 4096
+	p := 8 * math.Log(float64(n)) / float64(n)
+	g := graph.GNPDirected(n, p, rng.New(1))
+	sc := radio.NewScratch()
+	spec := &energy.Spec{Model: energy.CC2420(), Budget: 1e9}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radio.RunBroadcastWith(sc, g, 0, core.NewAlgorithm1(p), rng.New(uint64(i)),
+			radio.Options{MaxRounds: 10000, Energy: spec})
+	}
+}
+
+// Steady-state accounting at scale: the RGGRound262144 workload with the
+// energy model enabled — per-op is one simulated round including ~4k
+// transmit-event charges and the aggregate settlement.
+func BenchmarkPrimitiveEnergyRound262144(b *testing.B) {
+	g := bigRGGGraph()
+	n := g.N()
+	txs := make([]graph.NodeID, 0, n/64)
+	for v := 0; v < n; v += 64 {
+		txs = append(txs, graph.NodeID(v))
+	}
+	sess := radio.NewBroadcastSession(n, 0, &pulseSet{txs: txs}, rng.New(18))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sess.Run(g, radio.Options{MaxRounds: b.N,
+		Energy: &energy.Spec{Model: energy.CC2420(), Budget: 1e12}})
+}

@@ -37,6 +37,21 @@
 // battery in internal/expt maps broadcast and gossip behaviour across this
 // model class.
 //
+// internal/energy extends the paper's transmission-count measure to a
+// per-round radio energy model: every alive node is charged for exactly one
+// state per round (transmit / receive / idle-listen / sleep; presets for
+// the paper's unit-cost measure and a CC2420-class sensor radio), battery
+// budgets deplete — a dead radio stops transmitting and, by default,
+// receiving — and results report per-node residual charge plus the
+// network-lifetime rounds (first death, half death, partition). Accounting
+// is allocation-free and lazy (O(events + deaths·log n) per round via an
+// indexed death-prediction heap), so the batch engine keeps its sublinear
+// rounds, and it costs nothing when disabled. The N1–N5 battery in
+// internal/expt measures lifetime vs protocol, the energy-latency Pareto
+// front, listen-cost sensitivity, heterogeneous batteries, and mobile-epoch
+// lifetime; note graph.MobileNetwork.Points returns a slice aliasing the
+// model's internal state (read-only, between Advance calls).
+//
 // The engine's hot path is vectorised: protocols implementing
 // radio.BatchBroadcaster (all Bernoulli-phase protocols here do) hand the
 // engine their whole per-round transmitter set in one call, drawn by

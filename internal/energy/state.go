@@ -1,0 +1,529 @@
+package energy
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/graph"
+)
+
+// Node status byte: exactly one per node, determining its passive drain
+// rate (Listen while uninformed, Sleep once informed) and its eligibility
+// to transmit or receive.
+const (
+	statusListening uint8 = iota // alive, uninformed: receiver on every round
+	statusInformed               // alive, informed: sleeps when not transmitting
+	statusDead                   // depleted: no tx, no charge, (optionally) no rx
+)
+
+// neverRound is the heap key of a node that will not die of passive drain.
+const neverRound = math.MaxInt64
+
+// depleteEps absorbs float rounding at the death threshold: a node is dead
+// when its spend reaches budget - depleteEps. With binary-exact cost tables
+// (powers of two, integers) death rounds are exact.
+const depleteEps = 1e-9
+
+// State is one battery bank plus the lazy accounting machinery. It is
+// created once (or borrowed from a radio.Scratch), reset per session by
+// Start, and optionally carried across sessions with Spec.Resume. All
+// methods are allocation-free after Start; none are safe for concurrent
+// use.
+type State struct {
+	model          Model
+	n              int
+	limited        bool
+	deadReceive    bool
+	trackPartition bool
+
+	budget []float64
+	spent  []float64 // charge folded through round anchor[v]
+	anchor []int32   // last *age* round whose cost is included in spent[v]
+	status []uint8
+
+	// Indexed min-heap of predicted spontaneous-death rounds (limited mode
+	// only): key[v] is the age round at whose end v's passive drain alone
+	// reaches its budget; pos[v] is v's slot in heap. Keys are predictions —
+	// verified, and corrected, when popped.
+	key  []int64
+	heap []int32
+	pos  []int32
+
+	round int // current age round = rounds lived across all sessions
+	base  int // session round r ↔ age round base + r
+
+	aliveListening int
+	aliveInformed  int
+	dead           int
+
+	txE, rxE, listenE, sleepE float64
+
+	firstDeath, halfDeath, partition int // age rounds; -1 until reached
+
+	bfsSeen  []bool
+	bfsQueue []graph.NodeID
+}
+
+// NewState returns an empty state; Start sizes it.
+func NewState() *State { return &State{} }
+
+// Start resets the state for a fresh session of n nodes under spec. It
+// reuses prior storage when capacities suffice, so a scratch-held state
+// costs nothing steady-state across trials.
+func (st *State) Start(spec Spec, n int) {
+	if err := spec.Model.validate(); err != nil {
+		panic(err)
+	}
+	if n < 1 {
+		panic("energy: state needs n >= 1")
+	}
+	if spec.Budgets != nil && len(spec.Budgets) != n {
+		panic(fmt.Sprintf("energy: %d per-node budgets for an %d-node session", len(spec.Budgets), n))
+	}
+	if spec.Budget < 0 {
+		panic("energy: negative budget")
+	}
+	st.model = spec.Model
+	st.n = n
+	st.deadReceive = spec.DeadReceive
+	st.trackPartition = spec.TrackPartition
+	st.limited = spec.Budgets != nil || (spec.Budget > 0 && !math.IsInf(spec.Budget, 1))
+
+	st.spent = growF(st.spent, n)
+	st.anchor = grow32(st.anchor, n)
+	st.status = growU8(st.status, n)
+	for i := 0; i < n; i++ {
+		st.spent[i] = 0
+		st.anchor[i] = 0
+		st.status[i] = statusListening
+	}
+	if st.limited {
+		st.budget = growF(st.budget, n)
+		if spec.Budgets != nil {
+			for i, b := range spec.Budgets {
+				if b <= 0 {
+					panic(fmt.Sprintf("energy: non-positive budget %g for node %d", b, i))
+				}
+				st.budget[i] = b
+			}
+		} else {
+			for i := range st.budget {
+				st.budget[i] = spec.Budget
+			}
+		}
+		st.key = grow64(st.key, n)
+		st.heap = grow32(st.heap, n)
+		st.pos = grow32(st.pos, n)
+		for v := 0; v < n; v++ {
+			st.key[v] = st.predictKey(graph.NodeID(v))
+			st.heap[v] = int32(v)
+			st.pos[v] = int32(v)
+		}
+		for i := n/2 - 1; i >= 0; i-- {
+			st.siftDown(i)
+		}
+	}
+	if st.trackPartition && len(st.bfsSeen) < n {
+		// Sized here so CheckPartition stays allocation-free in the round
+		// loop.
+		st.bfsSeen = make([]bool, n)
+		st.bfsQueue = make([]graph.NodeID, 0, n)
+	}
+	st.round, st.base = 0, 0
+	st.aliveListening, st.aliveInformed, st.dead = n, 0, 0
+	st.txE, st.rxE, st.listenE, st.sleepE = 0, 0, 0, 0
+	st.firstDeath, st.halfDeath, st.partition = -1, -1, -1
+}
+
+// Rebase readies a persistent state for the next session (campaign): spends
+// are folded to the current round, every surviving node goes back to
+// listening (a new message is about to circulate), and the session round
+// clock re-anchors so the next session's round 1 continues the age clock.
+func (st *State) Rebase() {
+	for v := 0; v < st.n; v++ {
+		if st.status[v] == statusDead {
+			continue
+		}
+		st.fold(graph.NodeID(v), st.round)
+		if st.status[v] == statusInformed {
+			st.status[v] = statusListening
+			st.aliveInformed--
+			st.aliveListening++
+		}
+		if st.limited {
+			st.key[v] = st.predictKey(graph.NodeID(v))
+		}
+	}
+	if st.limited {
+		for i := st.n/2 - 1; i >= 0; i-- {
+			st.siftDown(i)
+		}
+	}
+	st.base = st.round
+}
+
+// N returns the node count the state was started for.
+func (st *State) N() int { return st.n }
+
+// Alive reports whether node v still has charge.
+func (st *State) Alive(v graph.NodeID) bool { return st.status[v] != statusDead }
+
+// AliveCount returns the number of non-depleted nodes.
+func (st *State) AliveCount() int { return st.n - st.dead }
+
+// DeadCount returns the number of depleted nodes.
+func (st *State) DeadCount() int { return st.dead }
+
+// DeadReceive reports whether depleted nodes may still receive.
+func (st *State) DeadReceive() bool { return st.deadReceive }
+
+// TrackPartition reports whether partition detection is enabled.
+func (st *State) TrackPartition() bool { return st.trackPartition }
+
+// PartitionRecorded reports whether the partition round has been found.
+func (st *State) PartitionRecorded() bool { return st.partition >= 0 }
+
+// Remaining returns node v's residual charge, clamped at 0 (+Inf when the
+// budget is unlimited).
+func (st *State) Remaining(v graph.NodeID) float64 {
+	if !st.limited {
+		return math.Inf(1)
+	}
+	r := st.budget[v] - st.spendAt(v, st.round)
+	if r < 0 {
+		r = 0
+	}
+	return r
+}
+
+// NoteInformed records that node v holds the message from the start (the
+// broadcast source, or every pre-informed node of a resumed session): no
+// receive cost, but from the next round on v sleeps instead of listening.
+// No-op for depleted nodes.
+func (st *State) NoteInformed(v graph.NodeID, sessionRound int) {
+	if st.status[v] != statusListening {
+		return
+	}
+	st.fold(v, st.base+sessionRound)
+	st.status[v] = statusInformed
+	st.aliveListening--
+	st.aliveInformed++
+	if st.limited {
+		st.fixKey(v)
+	}
+}
+
+// FilterAlive drops depleted nodes from list in place, preserving order,
+// and returns the shortened slice.
+func (st *State) FilterAlive(list []graph.NodeID) []graph.NodeID {
+	out := list[:0]
+	for _, v := range list {
+		if st.status[v] != statusDead {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// EndRound settles the accounting of one simulated round: transmitters
+// (already filtered to alive nodes, all informed) pay Tx, first-time
+// receivers pay Rx and switch to the informed/sleeping regime, every other
+// alive node pays Listen or Sleep by status, and depletions are detected.
+// Returns the number of nodes that died at the end of this round.
+//
+// Call exactly once per simulated round, with session rounds advancing by
+// one (the engine's round loop does): the aggregate listen/sleep totals
+// accrue one round per call.
+func (st *State) EndRound(sessionRound int, transmitters, delivered []graph.NodeID) (newDeaths int) {
+	age := st.base + sessionRound
+	st.round = age
+
+	// txInf counts transmitters in the informed regime — in a conforming
+	// protocol all of them, but the accounting stays consistent even for a
+	// transmitter the engine was handed outside the informed list.
+	txInf := 0
+	for _, v := range transmitters {
+		if st.status[v] == statusInformed {
+			txInf++
+		}
+		st.charge(v, age, st.model.Tx)
+	}
+	listenersBefore := st.aliveListening
+	sleepersBefore := st.aliveInformed - txInf
+	rx := 0
+	for _, v := range delivered {
+		if st.status[v] == statusDead {
+			continue // DeadReceive mode: an informed corpse pays nothing
+		}
+		rx++
+		st.charge(v, age, st.model.Rx)
+		st.status[v] = statusInformed
+		st.aliveListening--
+		st.aliveInformed++
+		if st.limited {
+			st.fixKey(v) // the passive rate just dropped to Sleep
+		}
+	}
+
+	st.txE += st.model.Tx * float64(len(transmitters))
+	st.rxE += st.model.Rx * float64(rx)
+	st.listenE += st.model.Listen * float64(listenersBefore-rx-(len(transmitters)-txInf))
+	st.sleepE += st.model.Sleep * float64(sleepersBefore)
+
+	if st.limited {
+		newDeaths = st.sweepDeaths(age)
+	}
+	return newDeaths
+}
+
+// CheckPartition tests whether the alive nodes still form one mutually
+// reachable component on g and records the partition round if not. Call
+// after a round that had deaths; no-ops once recorded or when fewer than
+// two nodes remain.
+func (st *State) CheckPartition(g *graph.Digraph, sessionRound int) {
+	if !st.trackPartition || st.partition >= 0 || st.n-st.dead < 2 {
+		return
+	}
+	seen := st.bfsSeen[:st.n]
+	clear(seen)
+	var root graph.NodeID = -1
+	for v := 0; v < st.n; v++ {
+		if st.status[v] != statusDead {
+			root = graph.NodeID(v)
+			break
+		}
+	}
+	queue := st.bfsQueue[:0]
+	queue = append(queue, root)
+	seen[root] = true
+	reached := 1
+	for len(queue) > 0 {
+		u := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		for _, w := range g.Out(u) {
+			if !seen[w] && st.status[w] != statusDead {
+				seen[w] = true
+				reached++
+				queue = append(queue, w)
+			}
+		}
+	}
+	st.bfsQueue = queue[:0]
+	if reached < st.n-st.dead {
+		st.partition = st.base + sessionRound
+	}
+}
+
+// Report snapshots the accounting into a fresh Report (the only allocating
+// read path; call once per Run, like Result.PerNodeTx).
+func (st *State) Report() *Report {
+	rep := &Report{
+		Model:           st.model,
+		TxEnergy:        st.txE,
+		RxEnergy:        st.rxE,
+		ListenEnergy:    st.listenE,
+		SleepEnergy:     st.sleepE,
+		DeadCount:       st.dead,
+		FirstDeathRound: st.firstDeath,
+		HalfDeathRound:  st.halfDeath,
+		PartitionRound:  st.partition,
+		Spent:           make([]float64, st.n),
+	}
+	for v := 0; v < st.n; v++ {
+		rep.Spent[v] = st.spendAt(graph.NodeID(v), st.round)
+	}
+	if st.limited {
+		rep.Residual = make([]float64, st.n)
+		for v := range rep.Residual {
+			r := st.budget[v] - rep.Spent[v]
+			if r < 0 {
+				r = 0
+			}
+			rep.Residual[v] = r
+		}
+	}
+	return rep
+}
+
+// --- lazy per-node accounting ---
+
+// rate returns v's passive per-round drain under its current status.
+func (st *State) rate(v graph.NodeID) float64 {
+	switch st.status[v] {
+	case statusListening:
+		return st.model.Listen
+	case statusInformed:
+		return st.model.Sleep
+	}
+	return 0
+}
+
+// fold materialises v's passive drain through age round `through`.
+func (st *State) fold(v graph.NodeID, through int) {
+	if d := through - int(st.anchor[v]); d > 0 {
+		st.spent[v] += st.rate(v) * float64(d)
+		st.anchor[v] = int32(through)
+	}
+}
+
+// spendAt returns v's cumulative spend through age round `age` without
+// mutating state.
+func (st *State) spendAt(v graph.NodeID, age int) float64 {
+	return st.spent[v] + st.rate(v)*float64(age-int(st.anchor[v]))
+}
+
+// charge bills v for an active round (transmit or receive): passive rounds
+// up to age-1 at the current status's rate, then the event cost for round
+// age. The caller adjusts status and population counts afterwards.
+func (st *State) charge(v graph.NodeID, age int, cost float64) {
+	st.fold(v, age-1)
+	st.spent[v] += cost
+	st.anchor[v] = int32(age)
+	if st.limited {
+		st.fixKey(v)
+	}
+}
+
+// --- depletion detection ---
+
+// predictKey returns the age round at whose end v's passive drain alone
+// reaches its budget (neverRound when it cannot). Predictions may be off by
+// float rounding; sweepDeaths verifies before killing.
+func (st *State) predictKey(v graph.NodeID) int64 {
+	if st.status[v] == statusDead {
+		return neverRound
+	}
+	left := st.budget[v] - depleteEps - st.spent[v]
+	if left <= 0 {
+		return int64(st.anchor[v])
+	}
+	rho := st.rate(v)
+	if rho <= 0 {
+		return neverRound
+	}
+	k := math.Ceil(left / rho)
+	if k > float64(neverRound)/2 {
+		return neverRound
+	}
+	return int64(st.anchor[v]) + int64(k)
+}
+
+// sweepDeaths retires every node whose spend reached its budget by the end
+// of age round `age`. Deaths take effect at the round's end: the dying
+// node's round-age activity already happened and was charged.
+func (st *State) sweepDeaths(age int) (deaths int) {
+	for st.key[st.heap[0]] <= int64(age) {
+		v := graph.NodeID(st.heap[0])
+		if st.spendAt(v, age) >= st.budget[v]-depleteEps {
+			st.kill(v, age)
+			deaths++
+			continue
+		}
+		// Stale prediction (the node's rate dropped since the push, or float
+		// slack): re-predict, never earlier than the next round so the sweep
+		// always progresses.
+		nk := st.predictKey(v)
+		if nk <= int64(age) {
+			nk = int64(age) + 1
+		}
+		st.key[v] = nk
+		st.siftDown(int(st.pos[v]))
+	}
+	return deaths
+}
+
+// kill retires v at the end of age round `age`.
+func (st *State) kill(v graph.NodeID, age int) {
+	st.fold(v, age)
+	if st.status[v] == statusListening {
+		st.aliveListening--
+	} else {
+		st.aliveInformed--
+	}
+	st.status[v] = statusDead
+	st.dead++
+	if st.firstDeath < 0 {
+		st.firstDeath = age
+	}
+	if st.halfDeath < 0 && 2*st.dead >= st.n {
+		st.halfDeath = age
+	}
+	st.key[v] = neverRound
+	st.siftDown(int(st.pos[v]))
+}
+
+// --- indexed min-heap over predicted death rounds ---
+
+func (st *State) heapLess(i, j int) bool { return st.key[st.heap[i]] < st.key[st.heap[j]] }
+
+func (st *State) heapSwap(i, j int) {
+	st.heap[i], st.heap[j] = st.heap[j], st.heap[i]
+	st.pos[st.heap[i]] = int32(i)
+	st.pos[st.heap[j]] = int32(j)
+}
+
+func (st *State) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !st.heapLess(i, p) {
+			return
+		}
+		st.heapSwap(i, p)
+		i = p
+	}
+}
+
+func (st *State) siftDown(i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < st.n && st.heapLess(l, s) {
+			s = l
+		}
+		if r < st.n && st.heapLess(r, s) {
+			s = r
+		}
+		if s == i {
+			return
+		}
+		st.heapSwap(i, s)
+		i = s
+	}
+}
+
+// fixKey re-predicts v's death round and restores the heap invariant.
+func (st *State) fixKey(v graph.NodeID) {
+	st.key[v] = st.predictKey(v)
+	st.siftUp(int(st.pos[v]))
+	st.siftDown(int(st.pos[v]))
+}
+
+// --- storage growth helpers (reuse capacity across Start calls) ---
+
+func growF(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func grow64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+func grow32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+func growU8(s []uint8, n int) []uint8 {
+	if cap(s) < n {
+		return make([]uint8, n)
+	}
+	return s[:n]
+}

@@ -58,17 +58,19 @@ func register(e Experiment) {
 }
 
 // All returns every registered experiment sorted by ID (figures first, then
-// theorem experiments, then extensions, then the geometric battery).
+// theorem experiments, then extensions, then the geometric battery, then the
+// network-lifetime battery).
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
 	return out
 }
 
-// idLess orders F* before E* before X* before G*, numerically within a class.
+// idLess orders F* before E* before X* before G* before N*, numerically
+// within a class.
 func idLess(a, b string) bool {
 	rank := func(id string) (int, int) {
-		class := 4
+		class := 5
 		switch id[0] {
 		case 'F':
 			class = 0
@@ -78,6 +80,8 @@ func idLess(a, b string) bool {
 			class = 2
 		case 'G':
 			class = 3
+		case 'N':
+			class = 4
 		}
 		num := 0
 		fmt.Sscanf(id[1:], "%d", &num)

@@ -1,0 +1,136 @@
+package expt
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+func cellVal(t *testing.T, tb *sweep.Table, row int, col string) float64 {
+	t.Helper()
+	for i, c := range tb.Columns {
+		if c == col {
+			v, err := strconv.ParseFloat(strings.TrimSpace(tb.Rows[row][i]), 64)
+			if err != nil {
+				t.Fatalf("cell [%d, %q] = %q not numeric", row, col, tb.Rows[row][i])
+			}
+			return v
+		}
+	}
+	t.Fatalf("no column %q in %q", col, tb.Title)
+	return 0
+}
+
+func runOne(t *testing.T, id string) *sweep.Table {
+	t.Helper()
+	e, ok := ByID(id)
+	if !ok {
+		t.Fatalf("experiment %s not registered", id)
+	}
+	tables := e.Run(Config{Full: false, Seed: 4242, Workers: 0})
+	if len(tables) != 1 || len(tables[0].Rows) == 0 {
+		t.Fatalf("%s produced no data", id)
+	}
+	return tables[0]
+}
+
+func TestLifetimeBatteryRegistered(t *testing.T) {
+	ids := map[string]bool{}
+	for _, e := range All() {
+		ids[e.ID] = true
+	}
+	for _, id := range []string{"N1", "N2", "N3", "N4", "N5"} {
+		if !ids[id] {
+			t.Fatalf("%s missing from the registry", id)
+		}
+	}
+	// The N battery sorts after the geometric battery.
+	all := All()
+	if last := all[len(all)-1].ID; last[0] != 'N' {
+		t.Fatalf("expected an N experiment to sort last, got %s", last)
+	}
+}
+
+func TestN1ProtocolHierarchySurvivesAsLifetime(t *testing.T) {
+	tb := runOne(t, "N1")
+	if len(tb.Rows) != 6 {
+		t.Fatalf("N1: %d rows, want 3 protocols × 2 models", len(tb.Rows))
+	}
+	// Under the unit-tx model the paper's per-campaign energy hierarchy must
+	// appear as battery life: algorithm3 (row 0) outlives czumaj-rytter
+	// (row 1).
+	a3 := cellVal(t, tb, 0, "campaigns")
+	cr := cellVal(t, tb, 1, "campaigns")
+	if a3 <= cr {
+		t.Fatalf("unit-tx: algorithm3 %.1f campaigns vs czumaj-rytter %.1f — hierarchy lost", a3, cr)
+	}
+	// Every row must actually exhaust its batteries (the budgets are tuned
+	// to resolve within the campaign cap).
+	for r := range tb.Rows {
+		if cellVal(t, tb, r, "dead fraction") == 0 {
+			t.Fatalf("N1 row %d: no deaths; budget no longer binds", r)
+		}
+	}
+}
+
+func TestN2ParetoFrontHasInteriorMinimum(t *testing.T) {
+	tb := runOne(t, "N2")
+	best, bestRow := 0.0, -1
+	for r := range tb.Rows {
+		tot := cellVal(t, tb, r, "totalE/node")
+		if bestRow < 0 || tot < best {
+			best, bestRow = tot, r
+		}
+	}
+	if bestRow == 0 || bestRow == len(tb.Rows)-1 {
+		t.Fatalf("N2: total energy minimised at boundary q (row %d) — no interior Pareto point", bestRow)
+	}
+	// And the unit-cost view must disagree: the smallest q is not the total
+	// energy minimum once listening is metered.
+	if lo, min := cellVal(t, tb, 0, "totalE/node"), best; lo <= min {
+		t.Fatalf("N2: smallest q already total-energy optimal (%.3g <= %.3g)", lo, min)
+	}
+}
+
+func TestN3LifetimeFallsWithListenCost(t *testing.T) {
+	tb := runOne(t, "N3")
+	free := cellVal(t, tb, 0, "campaigns")
+	costly := cellVal(t, tb, len(tb.Rows)-1, "campaigns")
+	if costly >= free {
+		t.Fatalf("N3: lifetime did not fall with listen cost (%.1f -> %.1f campaigns)", free, costly)
+	}
+}
+
+func TestN4HeterogeneityPullsFirstDeathEarlier(t *testing.T) {
+	tb := runOne(t, "N4")
+	uni := cellVal(t, tb, 0, "first-death round")
+	bi := cellVal(t, tb, 1, "first-death round")
+	if bi >= uni {
+		t.Fatalf("N4: bimodal first death %.0f not earlier than uniform %.0f", bi, uni)
+	}
+	for r := range tb.Rows {
+		if cellVal(t, tb, r, "dead fraction") != 1 {
+			t.Fatalf("N4 row %d: drain-until-depleted did not deplete", r)
+		}
+	}
+}
+
+func TestN5MobilityCompletesBeforeDepletion(t *testing.T) {
+	tb := runOne(t, "N5")
+	if s := cellVal(t, tb, 0, "success"); s != 0 {
+		t.Fatalf("N5: static subcritical broadcast should fail, success=%.2f", s)
+	}
+	if df := cellVal(t, tb, 0, "dead fraction"); df < 0.5 {
+		t.Fatalf("N5: stranded listeners should deplete (dead fraction %.2f)", df)
+	}
+	for r := 1; r < len(tb.Rows); r++ {
+		if s := cellVal(t, tb, r, "success"); s < 0.75 {
+			t.Fatalf("N5 row %d: mobile scenario success %.2f, want near-certain completion", r, s)
+		}
+		if df := cellVal(t, tb, r, "dead fraction"); df > 0.25 {
+			t.Fatalf("N5 row %d: mobility should complete before depletion (dead fraction %.2f)", r, df)
+		}
+	}
+}

@@ -113,6 +113,13 @@ func (m *MobileNetwork) Advance() {
 		for i := range m.pts {
 			dx := m.destX[i] - m.pts[i].X
 			dy := m.destY[i] - m.pts[i].Y
+			if m.spec.Torus {
+				// Walk the shortest toroidal path — matching the wrap-around
+				// metric Snapshot builds the graph with — not the Euclidean
+				// straight line.
+				dx = wrapDelta(dx)
+				dy = wrapDelta(dy)
+			}
 			d := math.Hypot(dx, dy)
 			if d <= m.speed[i] {
 				// Arrived: settle on the waypoint this epoch, choose the next
@@ -121,8 +128,30 @@ func (m *MobileNetwork) Advance() {
 				m.pickWaypoint(i)
 				continue
 			}
-			m.pts[i].X += dx / d * m.speed[i]
-			m.pts[i].Y += dy / d * m.speed[i]
+			m.pts[i].X = wrapPos(m.pts[i].X+dx/d*m.speed[i], m.spec.Torus)
+			m.pts[i].Y = wrapPos(m.pts[i].Y+dy/d*m.speed[i], m.spec.Torus)
 		}
 	}
+}
+
+// wrapDelta maps a coordinate displacement to its shortest toroidal
+// equivalent in [-1/2, 1/2].
+func wrapDelta(d float64) float64 {
+	if d > 0.5 {
+		return d - 1
+	}
+	if d < -0.5 {
+		return d + 1
+	}
+	return d
+}
+
+// wrapPos maps a stepped coordinate back into [0, 1) on the torus. Off the
+// torus the step stays on the segment between two in-range points, so no
+// wrap is needed.
+func wrapPos(x float64, torus bool) float64 {
+	if !torus {
+		return x
+	}
+	return wrapOrReflect(x, true)
 }

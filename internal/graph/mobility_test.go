@@ -1,0 +1,87 @@
+package graph
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func torusDist1D(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+func torusDist(x1, y1, x2, y2 float64) float64 {
+	return math.Hypot(torusDist1D(x1, x2), torusDist1D(y1, y2))
+}
+
+// TestWaypointTorusShortestPath is the regression test for the torus-blind
+// waypoint walk: on a torus spec, every non-arriving step must shorten the
+// TOROIDAL distance to the waypoint by exactly the node's speed (i.e. the
+// node walks the wrap-around shortcut whenever it is shorter than the
+// Euclidean straight line), and positions must stay in [0, 1).
+func TestWaypointTorusShortestPath(t *testing.T) {
+	spec := GeomSpec{N: 300, Radius: 0.05, Torus: true}
+	m := NewMobileNetwork(spec, MobilityWaypoint, 0.01, 0.04, rng.New(42))
+	n := spec.N
+	oldX := make([]float64, n)
+	oldY := make([]float64, n)
+	destX := make([]float64, n)
+	destY := make([]float64, n)
+	speed := make([]float64, n)
+	wrapped := 0
+	for step := 0; step < 60; step++ {
+		for i, p := range m.pts {
+			oldX[i], oldY[i] = p.X, p.Y
+			destX[i], destY[i] = m.destX[i], m.destY[i]
+			speed[i] = m.speed[i]
+		}
+		m.Advance()
+		for i, p := range m.pts {
+			if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+				t.Fatalf("step %d node %d: position (%g, %g) outside [0,1)", step, i, p.X, p.Y)
+			}
+			before := torusDist(oldX[i], oldY[i], destX[i], destY[i])
+			if before <= speed[i] {
+				// Arrived: the node must sit exactly on its old waypoint.
+				if p.X != destX[i] || p.Y != destY[i] {
+					t.Fatalf("step %d node %d: arrival did not land on waypoint", step, i)
+				}
+				continue
+			}
+			after := torusDist(p.X, p.Y, destX[i], destY[i])
+			if math.Abs(before-after-speed[i]) > 1e-9 {
+				t.Fatalf("step %d node %d: toroidal progress %g, want speed %g (before %g, after %g)",
+					step, i, before-after, speed[i], before, after)
+			}
+			// Count the steps where the straight line would have been wrong:
+			// the shortest path wraps in at least one coordinate.
+			if math.Abs(destX[i]-oldX[i]) > 0.5 || math.Abs(destY[i]-oldY[i]) > 0.5 {
+				wrapped++
+			}
+		}
+	}
+	if wrapped == 0 {
+		t.Fatal("test exercised no wrap-around legs; not a meaningful regression test")
+	}
+}
+
+// TestWaypointSquareStaysInRange pins the non-torus walk: straight-line
+// motion between in-range points never leaves the unit square, and arrival
+// snapping still works.
+func TestWaypointSquareStaysInRange(t *testing.T) {
+	spec := GeomSpec{N: 200, Radius: 0.05}
+	m := NewMobileNetwork(spec, MobilityWaypoint, 0.02, 0.06, rng.New(7))
+	for step := 0; step < 60; step++ {
+		m.Advance()
+		for i, p := range m.pts {
+			if p.X < 0 || p.X >= 1 || p.Y < 0 || p.Y >= 1 {
+				t.Fatalf("step %d node %d: position (%g, %g) outside [0,1)", step, i, p.X, p.Y)
+			}
+		}
+	}
+}

@@ -33,6 +33,7 @@ package radio
 import (
 	"fmt"
 
+	"repro/internal/energy"
 	"repro/internal/graph"
 	"repro/internal/rng"
 )
@@ -143,6 +144,16 @@ type Options struct {
 	// by external interference in the given round: a jammed node cannot
 	// receive that round (the noise collides with any transmission).
 	Jammed func(round int) []graph.NodeID
+	// Energy, when non-nil, enables the per-round radio energy model (see
+	// internal/energy): every alive node is charged for exactly one state
+	// per round (transmit / receive / listen / sleep), depleted nodes stop
+	// transmitting (and, unless Spec.DeadReceive, stop receiving), and
+	// Result.Energy reports totals, per-node residual charge and the
+	// network-lifetime rounds. The spec is captured by the session on its
+	// FIRST Run segment; later segments must pass the same pointer or nil.
+	// Spec.Resume carries one battery bank across sessions (repeated
+	// campaigns). The session stops early once every node has depleted.
+	Energy *energy.Spec
 	// Tracer, when non-nil, receives per-event callbacks (see Tracer). Use
 	// internal/trace for ready-made recorders.
 	Tracer Tracer
@@ -196,14 +207,19 @@ type Result struct {
 	MaxNodeTx     int   // maximum transmissions by any single node
 	PerNodeTx     []int32
 	Collisions    int64
-	History       []RoundStat // non-nil iff Options.RecordHistory
+	History       []RoundStat    // non-nil iff Options.RecordHistory
+	Energy        *energy.Report // non-nil iff the session ran with Options.Energy
 }
 
 // Completed reports whether the target informed count was reached.
 func (r *Result) Completed() bool { return r.InformedRound >= 0 }
 
-// TxPerNode returns the mean transmissions per node.
+// TxPerNode returns the mean transmissions per node (0 for a zero-value or
+// PerNodeTx-less result, never NaN).
 func (r *Result) TxPerNode() float64 {
+	if len(r.PerNodeTx) == 0 {
+		return 0
+	}
 	return float64(r.TotalTx) / float64(len(r.PerNodeTx))
 }
 
@@ -221,6 +237,7 @@ type Scratch struct {
 	txbuf        []graph.NodeID
 	st           *deliveryState
 	par          *parallelDeliverer
+	energy       *energy.State // lazily created on the first energy-enabled session
 }
 
 // NewScratch returns an empty scratch; buffers are sized on first use and
@@ -268,6 +285,9 @@ type BroadcastSession struct {
 	collisions int64
 
 	reachedAt map[int]int // target count -> absolute round first reached
+
+	energy     *energy.State // non-nil once an energy spec was captured
+	energySpec *energy.Spec  // the captured spec, for mid-session change detection
 
 	sc  *Scratch // non-nil when buffers are borrowed
 	st  *deliveryState
@@ -331,6 +351,45 @@ func (s *BroadcastSession) Quiesced() bool { return s.quiesced }
 // IsInformed reports whether node v has received the message.
 func (s *BroadcastSession) IsInformed(v graph.NodeID) bool { return s.informed.Get(v) }
 
+// EnergyState returns the session's battery bank (nil when the energy model
+// is disabled). Pass it as energy.Spec{Resume: ...} to a later session to
+// model repeated campaigns on one charge. When the session borrowed a
+// Scratch, the state aliases scratch storage: it stays valid only until the
+// scratch hosts another *energy-enabled* session that does not resume it.
+func (s *BroadcastSession) EnergyState() *energy.State { return s.energy }
+
+// initEnergy captures an energy spec on the session's first segment.
+func (s *BroadcastSession) initEnergy(spec *energy.Spec) {
+	if s.rounds > 0 {
+		panic("radio: Options.Energy must be supplied from the session's first Run segment")
+	}
+	if spec.Resume != nil {
+		if spec.Resume.N() != s.n {
+			panic("radio: resumed energy state sized for a different network")
+		}
+		spec.Resume.Rebase()
+		s.energy = spec.Resume
+	} else {
+		var st *energy.State
+		if s.sc != nil {
+			if s.sc.energy == nil {
+				s.sc.energy = energy.NewState()
+			}
+			st = s.sc.energy
+		} else {
+			st = energy.NewState()
+		}
+		st.Start(*spec, s.n)
+		s.energy = st
+	}
+	s.energySpec = spec
+	// Nodes informed before round 1 (the source) never pay a receive cost
+	// and sleep from the start.
+	for _, v := range s.informedList {
+		s.energy.NoteInformed(v, 0)
+	}
+}
+
 // Run executes up to opt.MaxRounds further rounds on graph g (which must
 // have the session's node count but may differ from previous segments'
 // graphs). The returned Result reflects the cumulative session state;
@@ -356,6 +415,14 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		}
 	}
 	useBatch := s.batch != nil && !engineOverrides.scalarDecisions
+	if opt.Energy != nil {
+		if s.energy == nil {
+			s.initEnergy(opt.Energy)
+		} else if opt.Energy != s.energySpec {
+			panic("radio: Options.Energy changed mid-session (pass the same *energy.Spec or nil on later segments)")
+		}
+	}
+	en := s.energy // nil keeps the whole model off the hot path
 
 	res := &Result{Protocol: s.proto.Name(), InformedRound: -1}
 	recordTarget := func() {
@@ -380,27 +447,28 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 
 		// Decision phase: informedList is in informing order; both paths
 		// iterate a stable order so protocol RNG consumption is
-		// deterministic.
+		// deterministic. Protocol decisions (and randomness) are drawn
+		// before the battery veto, so the energy model never perturbs a
+		// protocol's schedule — a depleted radio just fails to emit.
 		transmitters = transmitters[:0]
 		if useBatch {
 			transmitters = s.batch.AppendTransmitters(round, s.informedList, transmitters)
-			for _, v := range transmitters {
-				s.perNodeTx[v]++
-			}
-			if opt.Tracer != nil {
-				for _, v := range transmitters {
-					opt.Tracer.Transmit(round, v)
-				}
-			}
 		} else {
 			for _, v := range s.informedList {
 				if s.proto.ShouldTransmit(round, v) {
 					transmitters = append(transmitters, v)
-					s.perNodeTx[v]++
-					if opt.Tracer != nil {
-						opt.Tracer.Transmit(round, v)
-					}
 				}
+			}
+		}
+		if en != nil {
+			transmitters = en.FilterAlive(transmitters)
+		}
+		for _, v := range transmitters {
+			s.perNodeTx[v]++
+		}
+		if opt.Tracer != nil {
+			for _, v := range transmitters {
+				opt.Tracer.Transmit(round, v)
 			}
 		}
 		s.totalTx += int64(len(transmitters))
@@ -421,6 +489,11 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		if opt.Jammed != nil {
 			delivered = dropJammed(delivered, opt.Jammed(round))
 		}
+		if en != nil && !en.DeadReceive() {
+			// A depleted radio is off: it cannot decode, so it never joins
+			// the informed set (both delivery kernels see the same filter).
+			delivered = en.FilterAlive(delivered)
+		}
 		s.collisions += int64(collisions)
 
 		for _, v := range delivered {
@@ -433,6 +506,12 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		}
 		if opt.Tracer != nil {
 			opt.Tracer.RoundEnd(round, len(transmitters), len(delivered), collisions)
+		}
+
+		if en != nil {
+			if deaths := en.EndRound(round, transmitters, delivered); deaths > 0 {
+				en.CheckPartition(g, round)
+			}
 		}
 
 		if opt.RecordHistory {
@@ -453,6 +532,11 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		if s.proto.Quiesced(round) {
 			s.quiesced = true
 		}
+		if en != nil && en.AliveCount() == 0 {
+			// The whole network depleted: no transmission or reception can
+			// ever happen again.
+			break
+		}
 	}
 	s.txbuf = transmitters[:0]
 	if s.sc != nil {
@@ -468,6 +552,9 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 	res.TotalTx = s.totalTx
 	res.Collisions = s.collisions
 	res.PerNodeTx = append([]int32(nil), s.perNodeTx...)
+	if en != nil {
+		res.Energy = en.Report()
+	}
 	if at, ok := s.reachedAt[target]; ok {
 		res.InformedRound = at
 	}

@@ -16,10 +16,19 @@ type TxSet struct {
 	txRound []int // txRound[v] == r iff v transmits in round r
 }
 
-// Reset readies the set for a fresh run on an n-node network.
+// Reset readies the set for a fresh run on an n-node network, reusing the
+// sentinel array when its capacity suffices (the allocation-free trial-loop
+// contract). Clearing restores the "round 0" sentinel, which no live round
+// ever uses (rounds are 1-based), so stale membership cannot leak across
+// runs.
 func (s *TxSet) Reset(n int) {
 	s.pending = s.pending[:0]
-	s.txRound = make([]int, n)
+	if cap(s.txRound) < n {
+		s.txRound = make([]int, n)
+		return
+	}
+	s.txRound = s.txRound[:n]
+	clear(s.txRound)
 }
 
 // BeginRound clears the pending set for a new round.

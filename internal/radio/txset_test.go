@@ -1,0 +1,58 @@
+package radio
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestTxSetResetReusesBuffer pins the allocation-free trial-loop contract:
+// once a TxSet has been sized, Reset must not allocate again for the same
+// (or any smaller) network.
+func TestTxSetResetReusesBuffer(t *testing.T) {
+	var s TxSet
+	s.Reset(256)
+	if allocs := testing.AllocsPerRun(100, func() { s.Reset(256) }); allocs != 0 {
+		t.Fatalf("Reset(256) allocates %v per run after warm-up, want 0", allocs)
+	}
+	// Shrinking and re-growing within the original capacity must reuse too.
+	if allocs := testing.AllocsPerRun(100, func() { s.Reset(64); s.Reset(256) }); allocs != 0 {
+		t.Fatalf("Reset(64)+Reset(256) allocates %v per run, want 0", allocs)
+	}
+}
+
+// TestTxSetResetClearsSentinels pins the correctness half of the reuse: a
+// round sentinel written before Reset must not make Contains report a stale
+// membership afterwards.
+func TestTxSetResetClearsSentinels(t *testing.T) {
+	var s TxSet
+	s.Reset(16)
+	s.BeginRound()
+	s.Add(graph.NodeID(5), 9)
+	if !s.Contains(5, 9) {
+		t.Fatal("Add(5, round 9) not visible to Contains")
+	}
+	s.Reset(16)
+	if s.Contains(5, 9) {
+		t.Fatal("stale round sentinel survived Reset: node 5 still in round 9's set")
+	}
+	// The cleared array must behave exactly like a fresh one for round 1.
+	s.BeginRound()
+	if s.Contains(5, 1) || s.Contains(0, 1) {
+		t.Fatal("fresh round reports phantom members after Reset")
+	}
+}
+
+// TestTxPerNodeEmptyResult: a zero-value (or PerNodeTx-less) Result must
+// report 0 transmissions per node, not NaN.
+func TestTxPerNodeEmptyResult(t *testing.T) {
+	var r Result
+	if got := r.TxPerNode(); got != 0 || math.IsNaN(got) {
+		t.Fatalf("zero-value Result.TxPerNode() = %v, want 0", got)
+	}
+	r.TotalTx = 7
+	if got := r.TxPerNode(); got != 0 {
+		t.Fatalf("PerNodeTx-less Result.TxPerNode() = %v, want 0", got)
+	}
+}

@@ -2,7 +2,10 @@
 # Benchmark-regression harness: runs the Primitive micro-benchmarks with
 # allocation stats, writes the raw `go test -json` stream to an output file,
 # and derives a benchstat-compatible text file next to it, so successive PRs
-# (and the CI bench gate) can diff ns/op and allocs/op. Usage:
+# (and the CI bench gate) can diff ns/op and allocs/op. The default pattern
+# covers the energy-path benchmarks too (PrimitiveAlgorithm1RunEnergy,
+# PrimitiveEnergyRound262144), so the enabled-model cost is tracked next to
+# the disabled-model hot path it must not perturb. Usage:
 #
 #   scripts/bench.sh                         # count=5, all Primitive benchmarks
 #   COUNT=1 scripts/bench.sh Decision        # quick smoke of a subset
