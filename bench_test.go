@@ -1,7 +1,7 @@
 package repro
 
 // The benchmark harness: one testing.B benchmark per experiment in the
-// per-experiment index of DESIGN.md §3. Each benchmark regenerates its
+// "Experiment index" of README.md. Each benchmark regenerates its
 // experiment's table at reduced scale and reports the headline quantities
 // as custom metrics, so
 //

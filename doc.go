@@ -12,9 +12,8 @@
 // baseline protocols the paper compares against), and a harness that
 // regenerates an experiment table for every theorem and figure.
 //
-// Start with README.md for the layout, DESIGN.md for the system inventory
-// and per-experiment index, and EXPERIMENTS.md for paper-vs-measured
-// results. The runnable entry points are:
+// Start with README.md for the layout and the experiment ↔ paper index,
+// and EXPERIMENTS.md for paper-vs-measured results. The runnable entry points are:
 //
 //	cmd/broadcast    — run one broadcast protocol on one topology
 //	cmd/gossip       — run a gossip protocol
@@ -51,6 +50,18 @@
 // front, listen-cost sensitivity, heterogeneous batteries, and mobile-epoch
 // lifetime; note graph.MobileNetwork.Points returns a slice aliasing the
 // model's internal state (read-only, between Advance calls).
+//
+// The experiment layer runs on internal/campaign, a declarative grid
+// engine: an experiment is a Campaign — a point enumeration (Axis products
+// or ad-hoc lists, every point carrying a stable key), a point→trials
+// mapping over sweep.RunTrialsScratch, and a render stage that rebuilds
+// tables from recorded samples. Point seeds derive purely from (base seed,
+// point key), so execution order, sharding (-shard k/N) and resume
+// (-checkpoint + -resume, streaming one durable JSONL record per completed
+// point with torn-tail repair) cannot change a result: shard unions and
+// killed-then-resumed runs are record-identical to one uninterrupted run,
+// and markdown, CSV and JSONL outputs are views over the same record
+// stream. See README.md ("The campaign engine") and cmd/experiments.
 //
 // The engine's hot path is vectorised: protocols implementing
 // radio.BatchBroadcaster (all Bernoulli-phase protocols here do) hand the

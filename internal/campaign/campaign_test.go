@@ -1,0 +1,363 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/sweep"
+)
+
+// testCampaign is a tiny synthetic campaign: a 2×3 grid whose "value"
+// sample is a pure function of (point, seed), so record equality across
+// execution strategies is meaningful. One metric carries NaN to exercise
+// the null round-trip.
+func testCampaign() Campaign {
+	points := func(cfg Config) []Point {
+		return Product(Strings("proto", "a", "b"), Ints("n", 1, 2, 3))
+	}
+	return Campaign{
+		Points: points,
+		Run: func(cfg Config, pt Point, seed uint64) Samples {
+			n := pt.Int("n")
+			base := float64(len(pt.Str("proto"))) * 1000
+			return Samples{
+				"value": {base + float64(n)*float64(seed%97), float64(n)},
+				"gap":   {math.NaN(), float64(n)},
+			}
+		},
+		Render: func(cfg Config, v View) []*sweep.Table {
+			t := sweep.NewTable("synthetic", "proto", "n", "value")
+			for _, pt := range points(cfg) {
+				s := v.Samples(pt.Key)
+				t.AddRow(pt.Str("proto"), fmt.Sprint(pt.Int("n")), sweep.F(s["value"][0]))
+			}
+			return []*sweep.Table{t}
+		},
+	}
+}
+
+func testUnits() []Unit { return []Unit{{ID: "T1", C: testCampaign()}} }
+
+// sortedLines renders a record set as canonically-ordered JSONL lines, so
+// runs that complete points in different orders compare equal.
+func sortedLines(t *testing.T, rs *ResultSet) map[string]string {
+	t.Helper()
+	out := map[string]string{}
+	for _, r := range rs.Records() {
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[r.Campaign+"/"+r.Point] = string(b)
+	}
+	return out
+}
+
+func TestProductEnumeration(t *testing.T) {
+	pts := Product(Strings("proto", "a", "b"), Ints("n", 1, 2, 3))
+	if len(pts) != 6 {
+		t.Fatalf("product size %d, want 6", len(pts))
+	}
+	if pts[0].Key != "proto=a/n=1" || pts[5].Key != "proto=b/n=3" {
+		t.Fatalf("unexpected keys %q .. %q", pts[0].Key, pts[5].Key)
+	}
+	if pts[1].Key != "proto=a/n=2" {
+		t.Fatalf("last axis must vary fastest, got %q", pts[1].Key)
+	}
+	if pts[3].Str("proto") != "b" || pts[3].Int("n") != 1 {
+		t.Fatalf("typed access broken: %v", pts[3])
+	}
+	if pts[2].Params["proto"] != "a" || pts[2].Params["n"] != "3" {
+		t.Fatalf("params broken: %v", pts[2].Params)
+	}
+	seen := map[string]bool{}
+	for _, pt := range pts {
+		if seen[pt.Key] {
+			t.Fatalf("duplicate key %q", pt.Key)
+		}
+		seen[pt.Key] = true
+	}
+}
+
+func TestPointSeedModes(t *testing.T) {
+	if PointSeed(Paired, 42, "x") != 42 || PointSeed(Paired, 42, "y") != 42 {
+		t.Fatal("paired mode must hand every point the base seed")
+	}
+	kx, ky := PointSeed(Keyed, 42, "x"), PointSeed(Keyed, 42, "y")
+	if kx == ky {
+		t.Fatal("keyed mode must decorrelate distinct keys")
+	}
+	if kx != PointSeed(Keyed, 42, "x") {
+		t.Fatal("keyed derivation must be deterministic")
+	}
+	if kx == PointSeed(Keyed, 43, "x") {
+		t.Fatal("keyed derivation must depend on the base seed")
+	}
+}
+
+func TestNullFloatRoundTrip(t *testing.T) {
+	in := []NullFloat{1.5, NullFloat(math.NaN()), NullFloat(math.Inf(1)), -3}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != "[1.5,null,null,-3]" {
+		t.Fatalf("marshal: %s", b)
+	}
+	var out []NullFloat
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out[0] != 1.5 || !math.IsNaN(float64(out[1])) || !math.IsNaN(float64(out[2])) || out[3] != -3 {
+		t.Fatalf("round trip: %v", out)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	cfg := Config{Seed: 7}
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, ShardCount: 2, ShardIndex: 5}); err == nil {
+		t.Fatal("out-of-range shard index accepted")
+	}
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Resume: true}); err == nil {
+		t.Fatal("resume without checkpoint accepted")
+	}
+	dup := testCampaign()
+	inner := dup.Points
+	dup.Points = func(cfg Config) []Point {
+		pts := inner(cfg)
+		return append(pts, pts[0])
+	}
+	if _, err := Run([]Unit{{ID: "T1", C: dup}}, RunOptions{Config: cfg}); err == nil || !strings.Contains(err.Error(), "duplicate point key") {
+		t.Fatalf("duplicate point keys not rejected: %v", err)
+	}
+	if _, err := Run([]Unit{{ID: "", C: testCampaign()}}, RunOptions{Config: cfg}); err == nil {
+		t.Fatal("empty unit ID accepted")
+	}
+	// A non-empty checkpoint without Resume holds computed records; the
+	// engine must refuse rather than silently truncate them.
+	ck := filepath.Join(t.TempDir(), "ck.jsonl")
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: ck}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: ck}); err == nil ||
+		!strings.Contains(err.Error(), "already holds records") {
+		t.Fatalf("non-resume run over an existing checkpoint not refused: %v", err)
+	}
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: ck, Resume: true}); err != nil {
+		t.Fatalf("resume over the same checkpoint must keep working: %v", err)
+	}
+}
+
+func TestShardUnionEqualsUnsharded(t *testing.T) {
+	cfg := Config{Seed: 99}
+	full, err := Run(testUnits(), RunOptions{Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	union := map[string]string{}
+	counts := map[string]int{}
+	for shard := 0; shard < 3; shard++ {
+		rs, err := Run(testUnits(), RunOptions{Config: cfg, ShardIndex: shard, ShardCount: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, line := range sortedLines(t, rs) {
+			union[k] = line
+			counts[k]++
+		}
+	}
+	want := sortedLines(t, full)
+	if len(union) != len(want) {
+		t.Fatalf("shard union has %d records, unsharded %d", len(union), len(want))
+	}
+	for k, line := range want {
+		if union[k] != line {
+			t.Errorf("record %s differs between sharded and unsharded runs\nsharded:   %s\nunsharded: %s", k, union[k], line)
+		}
+		if counts[k] != 1 {
+			t.Errorf("record %s ran on %d shards, want exactly 1", k, counts[k])
+		}
+	}
+}
+
+func TestResumeEquivalence(t *testing.T) {
+	cfg := Config{Seed: 1234}
+	dir := t.TempDir()
+
+	// One uninterrupted run with a checkpoint.
+	fullPath := filepath.Join(dir, "full.jsonl")
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: fullPath}); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes, err := os.ReadFile(fullPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a kill after 2 points: keep the first 2 lines, resume.
+	lines := strings.SplitAfter(string(fullBytes), "\n")
+	partial := strings.Join(lines[:2], "")
+	resumePath := filepath.Join(dir, "resume.jsonl")
+	if err := os.WriteFile(resumePath, []byte(partial), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: resumePath, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumedBytes, err := os.ReadFile(resumePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resumedBytes) != string(fullBytes) {
+		t.Errorf("killed-then-resumed checkpoint differs from uninterrupted run\nresumed:\n%s\nfull:\n%s", resumedBytes, fullBytes)
+	}
+	if len(rs.Records()) != 6 {
+		t.Fatalf("resumed result set has %d records, want 6", len(rs.Records()))
+	}
+
+	// A second resume over the complete file runs nothing and changes nothing
+	// (pure render-from-checkpoint mode).
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: resumePath, Resume: true}); err != nil {
+		t.Fatal(err)
+	}
+	again, _ := os.ReadFile(resumePath)
+	if string(again) != string(fullBytes) {
+		t.Error("no-op resume modified the checkpoint")
+	}
+
+	// Records from a different seed or scale must NOT satisfy resume.
+	rs2, err := Run(testUnits(), RunOptions{Config: Config{Seed: 4321}, Checkpoint: resumePath, Resume: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rs2.Records() {
+		if r.Seed != 4321 {
+			t.Fatalf("resume reused a record with stale seed %d", r.Seed)
+		}
+	}
+}
+
+func TestResumeToleratesTornTail(t *testing.T) {
+	cfg := Config{Seed: 5}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	full, _ := os.ReadFile(path)
+	lines := strings.SplitAfter(string(full), "\n")
+	// Keep 3 complete records plus a torn fragment of the 4th.
+	torn := strings.Join(lines[:3], "") + lines[3][:len(lines[3])/2]
+	if err := os.WriteFile(path, []byte(torn), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: path, Resume: true})
+	if err != nil {
+		t.Fatalf("torn tail not tolerated: %v", err)
+	}
+	if len(rs.Records()) != 6 {
+		t.Fatalf("resumed %d records, want 6", len(rs.Records()))
+	}
+	// Resume repairs the tear in place: the fragment is truncated before the
+	// re-run of its point appends, so the final file is byte-identical to the
+	// uninterrupted stream.
+	repaired, _ := os.ReadFile(path)
+	if string(repaired) != string(full) {
+		t.Errorf("repaired checkpoint differs from uninterrupted stream:\n%s\nvs\n%s", repaired, full)
+	}
+	// A tear at offset 0 — a run killed mid-append of its very first record
+	// — must also be repaired: the torn fragment is truncated away, not
+	// appended onto.
+	if err := os.WriteFile(path, []byte(lines[0][:len(lines[0])/2]), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rs, err = Run(testUnits(), RunOptions{Config: cfg, Checkpoint: path, Resume: true})
+	if err != nil {
+		t.Fatalf("offset-0 tear not tolerated: %v", err)
+	}
+	if len(rs.Records()) != 6 {
+		t.Fatalf("offset-0 resume produced %d records, want 6", len(rs.Records()))
+	}
+	repaired, _ = os.ReadFile(path)
+	if string(repaired) != string(full) {
+		t.Errorf("offset-0 repaired checkpoint differs from uninterrupted stream")
+	}
+	if _, err := LoadRecords(path); err != nil {
+		t.Errorf("repaired checkpoint unreadable: %v", err)
+	}
+
+	// Corruption mid-file, by contrast, must fail loudly.
+	bad := lines[0][:len(lines[0])/2] + "\n" + strings.Join(lines[1:3], "")
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRecords(path); err == nil {
+		t.Fatal("mid-file corruption not detected")
+	}
+	// ... including on the FINAL line when it is newline-terminated: sink
+	// writes are prefix-only, so a complete line that fails to parse was
+	// corrupted after the fact, never torn — it must not be silently
+	// truncated as if it were a torn tail.
+	if err := os.WriteFile(path, []byte(strings.Join(lines[:2], "")+"{\"broken\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadRecords(path); err == nil {
+		t.Fatal("terminated malformed final line not detected as corruption")
+	}
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: path, Resume: true}); err == nil {
+		t.Fatal("resume over a corrupt terminated final line must refuse, not truncate")
+	}
+}
+
+func TestRenderFromCheckpointOnly(t *testing.T) {
+	cfg := Config{Seed: 77}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+	want, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTables := testCampaign().Render(cfg, NewView(want, "T1"))
+
+	loaded, err := LoadRecords(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTables := testCampaign().Render(cfg, NewView(loaded, "T1"))
+	if len(gotTables) != len(wantTables) {
+		t.Fatalf("table count %d vs %d", len(gotTables), len(wantTables))
+	}
+	for i := range gotTables {
+		if gotTables[i].Markdown() != wantTables[i].Markdown() {
+			t.Errorf("table %d rendered from checkpoint differs from live render", i)
+		}
+	}
+}
+
+func TestCompleteDetectsMissingPoints(t *testing.T) {
+	cfg := Config{Seed: 3}
+	u := testUnits()[0]
+	rs, err := Run([]Unit{u}, RunOptions{Config: cfg, ShardIndex: 0, ShardCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Complete(u, cfg, rs) {
+		t.Fatal("half a grid reported complete")
+	}
+	rest, err := Run([]Unit{u}, RunOptions{Config: cfg, ShardIndex: 1, ShardCount: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rest.Records() {
+		rs.Add(r)
+	}
+	if !Complete(u, cfg, rs) {
+		t.Fatal("merged shards reported incomplete")
+	}
+}

@@ -1,0 +1,185 @@
+package campaign
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Unit is a campaign with its identity — the ID records and point keys are
+// scoped under (e.g. the experiment ID "E1").
+type Unit struct {
+	ID string
+	C  Campaign
+}
+
+// RunOptions configures one engine invocation.
+type RunOptions struct {
+	Config Config
+	// ShardIndex/ShardCount partition the global point list deterministically
+	// across processes: point i (in enumeration order over all selected
+	// units) runs on shard ShardIndex iff i % ShardCount == ShardIndex.
+	// ShardCount <= 1 disables sharding.
+	ShardIndex int
+	ShardCount int
+	// Checkpoint, when set, streams one JSONL record per completed point to
+	// this path (append-only, crash-tolerant).
+	Checkpoint string
+	// Resume loads Checkpoint first and skips every point that already has a
+	// record matching (campaign, point, seed, scale). Requires Checkpoint.
+	Resume bool
+	// Trials stamps the per-point repetition count into records (informational;
+	// the campaigns themselves derive it from Config).
+	Trials int
+	// Progress, when non-nil, receives one line per point with timing and an
+	// ETA over the remaining points of this run.
+	Progress io.Writer
+}
+
+// task is one scheduled point.
+type task struct {
+	unit  Unit
+	point Point
+}
+
+// Run executes the selected campaigns' grids under the given options and
+// returns the resulting record set (resumed records included). Execution is
+// sequential over points — parallelism lives inside a point's trial fan-out
+// (sweep.RunTrialsScratch) — so the checkpoint stream orders records by
+// grid position and a killed run leaves a clean prefix.
+func Run(units []Unit, opt RunOptions) (*ResultSet, error) {
+	if opt.ShardCount > 1 && (opt.ShardIndex < 0 || opt.ShardIndex >= opt.ShardCount) {
+		return nil, fmt.Errorf("campaign: shard index %d outside 0..%d", opt.ShardIndex, opt.ShardCount-1)
+	}
+	if opt.Resume && opt.Checkpoint == "" {
+		return nil, fmt.Errorf("campaign: resume requires a checkpoint path")
+	}
+
+	// Enumerate the global point list and validate key uniqueness.
+	var tasks []task
+	seen := map[string]bool{}
+	for _, u := range units {
+		if u.ID == "" {
+			return nil, fmt.Errorf("campaign: unit with empty ID")
+		}
+		for _, pt := range u.C.Points(opt.Config) {
+			if pt.Key == "" {
+				return nil, fmt.Errorf("campaign %s: point with empty key", u.ID)
+			}
+			k := setKey(u.ID, pt.Key)
+			if seen[k] {
+				return nil, fmt.Errorf("campaign %s: duplicate point key %q", u.ID, pt.Key)
+			}
+			seen[k] = true
+			tasks = append(tasks, task{unit: u, point: pt})
+		}
+	}
+
+	prior := NewResultSet()
+	if !opt.Resume && opt.Checkpoint != "" {
+		// Refuse to clobber prior work: a non-empty checkpoint holds computed
+		// records, and overwriting it silently would throw hours away on a
+		// mistyped re-run. The operator chooses explicitly: Resume to
+		// continue, or remove the file for a fresh stream.
+		if st, err := os.Stat(opt.Checkpoint); err == nil && st.Size() > 0 {
+			return nil, fmt.Errorf("campaign: checkpoint %s already holds records; pass resume to continue it, or remove the file to start fresh", opt.Checkpoint)
+		}
+	}
+	if opt.Resume {
+		var cleanLen int64
+		var err error
+		prior, cleanLen, err = loadCheckpoint(opt.Checkpoint)
+		if err != nil {
+			return nil, err
+		}
+		// Repair a torn tail in place: drop the partial final line so the
+		// next append starts on a fresh line and a resumed stream stays
+		// byte-identical to an uninterrupted one. This must happen whenever
+		// the file exists — even a tear at offset 0 (a run killed mid-append
+		// of its very first record) would otherwise have the next record
+		// appended onto the partial line, corrupting the stream for good.
+		if _, statErr := os.Stat(opt.Checkpoint); statErr == nil {
+			if err := os.Truncate(opt.Checkpoint, cleanLen); err != nil {
+				return nil, fmt.Errorf("campaign: truncate torn checkpoint tail: %w", err)
+			}
+		}
+	}
+
+	var sink *Sink
+	if opt.Checkpoint != "" {
+		// Without resume the checkpoint is a fresh stream (guarded non-empty
+		// above); with it, records accumulate after the loaded prefix.
+		fresh := !opt.Resume
+		var err error
+		sink, err = OpenSink(opt.Checkpoint, fresh)
+		if err != nil {
+			return nil, err
+		}
+		defer sink.Close()
+	}
+
+	// Pre-scan so the ETA denominator counts only points this run executes.
+	inShard := func(i int) bool {
+		return opt.ShardCount <= 1 || i%opt.ShardCount == opt.ShardIndex
+	}
+	toRun := 0
+	for i, t := range tasks {
+		if !inShard(i) {
+			continue
+		}
+		if r, ok := prior.Lookup(t.unit.ID, t.point.Key); ok && r.matches(t.unit.ID, t.point.Key, opt.Config, opt.Trials) {
+			continue
+		}
+		toRun++
+	}
+
+	rs := NewResultSet()
+	done := 0
+	var spent time.Duration
+	for i, t := range tasks {
+		if !inShard(i) {
+			continue
+		}
+		if r, ok := prior.Lookup(t.unit.ID, t.point.Key); ok && r.matches(t.unit.ID, t.point.Key, opt.Config, opt.Trials) {
+			rs.Add(r)
+			if opt.Progress != nil {
+				fmt.Fprintf(opt.Progress, "%s %s: resumed from checkpoint\n", t.unit.ID, t.point.Key)
+			}
+			continue
+		}
+		if opt.Progress != nil {
+			fmt.Fprintf(opt.Progress, "%s %s ...", t.unit.ID, t.point.Key)
+		}
+		start := time.Now()
+		seed := PointSeed(t.unit.C.SeedMode, opt.Config.Seed, t.point.Key)
+		samples := t.unit.C.Run(opt.Config, t.point, seed)
+		elapsed := time.Since(start)
+		spent += elapsed
+		done++
+		rec := newRecord(t.unit.ID, t.point, opt.Config, opt.Trials, samples)
+		rs.Add(rec)
+		if sink != nil {
+			if err := sink.Append(rec); err != nil {
+				return nil, err
+			}
+		}
+		if opt.Progress != nil {
+			eta := time.Duration(float64(spent) / float64(done) * float64(toRun-done)).Round(time.Second)
+			fmt.Fprintf(opt.Progress, " done in %v [%d/%d, ETA %v]\n",
+				elapsed.Round(time.Millisecond), done, toRun, eta)
+		}
+	}
+	return rs, nil
+}
+
+// Complete reports whether every point of the unit has a record in the set
+// — the precondition for rendering its tables.
+func Complete(u Unit, cfg Config, rs *ResultSet) bool {
+	for _, pt := range u.C.Points(cfg) {
+		if _, ok := rs.Lookup(u.ID, pt.Key); !ok {
+			return false
+		}
+	}
+	return true
+}

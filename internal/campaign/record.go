@@ -1,0 +1,297 @@
+package campaign
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strings"
+)
+
+// Record is the unit of the result stream: one completed grid point. The
+// engine appends exactly one JSON line per record to the checkpoint sink,
+// and every output view (markdown, CSV, JSONL) renders from records alone —
+// so a table can be rebuilt, merged across shards, or resumed from
+// checkpoints without re-running a single trial.
+//
+// The engine deliberately stamps no wall-clock or host fields into records,
+// so a record's bytes are a pure function of (campaign, point, seed, scale)
+// for every campaign whose samples are themselves deterministic — which is
+// what makes "shard union == uninterrupted run" and "resumed ==
+// uninterrupted" exact, testable properties rather than aspirations. (A
+// campaign that *measures* wall-clock, like X4's kernel-throughput samples,
+// is the documented exception: its records resume fine but are not
+// reproducible byte-for-byte across runs or hosts.)
+type Record struct {
+	Campaign string                 `json:"campaign"`
+	Point    string                 `json:"point"`
+	Params   map[string]string      `json:"params,omitempty"`
+	Seed     uint64                 `json:"seed"`
+	Full     bool                   `json:"full,omitempty"`
+	Trials   int                    `json:"trials,omitempty"`
+	Samples  map[string][]NullFloat `json:"samples"`
+}
+
+// NullFloat is a float64 whose JSON form maps non-finite values to null
+// (JSON has no NaN/Inf literal). Unmarshalling null yields NaN.
+type NullFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f NullFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (f *NullFloat) UnmarshalJSON(b []byte) error {
+	if string(b) == "null" {
+		*f = NullFloat(math.NaN())
+		return nil
+	}
+	var v float64
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	*f = NullFloat(v)
+	return nil
+}
+
+// newRecord packages one completed point.
+func newRecord(campaignID string, pt Point, cfg Config, trials int, s Samples) *Record {
+	r := &Record{
+		Campaign: campaignID,
+		Point:    pt.Key,
+		Params:   pt.Params,
+		Seed:     cfg.Seed,
+		Full:     cfg.Full,
+		Trials:   trials,
+		Samples:  make(map[string][]NullFloat, len(s)),
+	}
+	for k, xs := range s {
+		vs := make([]NullFloat, len(xs))
+		for i, x := range xs {
+			vs[i] = NullFloat(x)
+		}
+		r.Samples[k] = vs
+	}
+	return r
+}
+
+// samples converts the record back to the Run-stage sample representation.
+func (r *Record) samples() Samples {
+	out := make(Samples, len(r.Samples))
+	for k, vs := range r.Samples {
+		xs := make([]float64, len(vs))
+		for i, v := range vs {
+			xs[i] = float64(v)
+		}
+		out[k] = xs
+	}
+	return out
+}
+
+// matches reports whether the record satisfies the given run configuration
+// for the identified point — the resume criterion. The trial count is part
+// of it: a checkpoint written before a repetition-count change must not be
+// silently mixed with freshly-run points.
+func (r *Record) matches(campaignID, pointKey string, cfg Config, trials int) bool {
+	return r.Campaign == campaignID && r.Point == pointKey &&
+		r.Seed == cfg.Seed && r.Full == cfg.Full && r.Trials == trials
+}
+
+// ResultSet holds the records of one run, in completion order, with
+// (campaign, point) lookup. Adding a record for an existing (campaign,
+// point) replaces it.
+type ResultSet struct {
+	byKey map[string]*Record
+	recs  []*Record
+}
+
+// NewResultSet returns an empty result set.
+func NewResultSet() *ResultSet {
+	return &ResultSet{byKey: map[string]*Record{}}
+}
+
+func setKey(campaignID, pointKey string) string { return campaignID + "\x00" + pointKey }
+
+// Add inserts or replaces a record.
+func (rs *ResultSet) Add(r *Record) {
+	k := setKey(r.Campaign, r.Point)
+	if old, ok := rs.byKey[k]; ok {
+		for i, x := range rs.recs {
+			if x == old {
+				rs.recs[i] = r
+				break
+			}
+		}
+	} else {
+		rs.recs = append(rs.recs, r)
+	}
+	rs.byKey[k] = r
+}
+
+// Lookup finds the record for a (campaign, point) pair.
+func (rs *ResultSet) Lookup(campaignID, pointKey string) (*Record, bool) {
+	r, ok := rs.byKey[setKey(campaignID, pointKey)]
+	return r, ok
+}
+
+// Records returns the records in completion order.
+func (rs *ResultSet) Records() []*Record { return rs.recs }
+
+// WriteJSONL streams every record as one JSON line each.
+func (rs *ResultSet) WriteJSONL(w io.Writer) error {
+	for _, r := range rs.recs {
+		line, err := json.Marshal(r)
+		if err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// View is a campaign-scoped read handle on a result set, handed to the
+// Render stage.
+type View struct {
+	rs *ResultSet
+	id string
+}
+
+// NewView scopes a result set to one campaign.
+func NewView(rs *ResultSet, campaignID string) View { return View{rs: rs, id: campaignID} }
+
+// Samples returns the sample vectors recorded for the given point key. It
+// panics with a descriptive message when the point is missing — Render only
+// runs on complete result sets, so a miss is a programming error (points
+// and render disagreeing on keys) or a truncated checkpoint.
+func (v View) Samples(pointKey string) Samples {
+	r, ok := v.rs.Lookup(v.id, pointKey)
+	if !ok {
+		panic(fmt.Sprintf("campaign: no record for %s point %q (points/render key mismatch, or incomplete record stream)", v.id, pointKey))
+	}
+	return r.samples()
+}
+
+// Has reports whether the point has a record.
+func (v View) Has(pointKey string) bool {
+	_, ok := v.rs.Lookup(v.id, pointKey)
+	return ok
+}
+
+// --- checkpoint sink ---
+
+// Sink is the append-only JSONL checkpoint stream. Every record is written
+// as a single Write of one full line followed by a sync, so a crash can at
+// worst leave one torn final line — which LoadRecords tolerates — and a
+// record, once visible, is durable and complete.
+type Sink struct {
+	f *os.File
+}
+
+// OpenSink opens (creating if needed) the checkpoint file for appending;
+// fresh truncates any existing content first (a new stream rather than a
+// resumed one).
+func OpenSink(path string, fresh bool) (*Sink, error) {
+	flags := os.O_CREATE | os.O_WRONLY | os.O_APPEND
+	if fresh {
+		flags |= os.O_TRUNC
+	}
+	f, err := os.OpenFile(path, flags, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	return &Sink{f: f}, nil
+}
+
+// Append durably writes one record.
+func (s *Sink) Append(r *Record) error {
+	line, err := json.Marshal(r)
+	if err != nil {
+		return fmt.Errorf("campaign: encode record: %w", err)
+	}
+	if _, err := s.f.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("campaign: append record: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return fmt.Errorf("campaign: sync checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (s *Sink) Close() error { return s.f.Close() }
+
+// LoadRecords reads a JSONL checkpoint into a result set. A missing file
+// yields an empty set. An unterminated final line — the torn tail of a
+// killed append, the only malformation a prefix-only partial write can
+// produce — is ignored; any line that ends in a newline was written whole,
+// so failing to parse one is corruption and errors wherever it sits.
+func LoadRecords(path string) (*ResultSet, error) {
+	rs, _, err := loadCheckpoint(path)
+	return rs, err
+}
+
+// loadCheckpoint is LoadRecords plus the clean length: the byte offset just
+// past the last well-formed line. A resuming engine truncates the file to
+// that offset before appending, so a torn tail is repaired in place and a
+// resumed stream stays byte-identical to an uninterrupted one.
+func loadCheckpoint(path string) (*ResultSet, int64, error) {
+	rs := NewResultSet()
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return rs, 0, nil
+	}
+	if err != nil {
+		return nil, 0, fmt.Errorf("campaign: open checkpoint: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<20)
+	var offset, cleanLen int64
+	line := 0
+	for {
+		chunk, readErr := br.ReadString('\n')
+		if chunk != "" {
+			line++
+			offset += int64(len(chunk))
+			terminated := strings.HasSuffix(chunk, "\n")
+			text := strings.TrimSpace(chunk)
+			switch {
+			case text == "":
+				if terminated {
+					cleanLen = offset
+				}
+			case !terminated:
+				// The torn tail of a killed append (necessarily the final
+				// chunk), even if it happens to parse: every sink write ends
+				// with a newline, so this line was cut mid-write. Excluded
+				// from the set and from cleanLen; resume truncates it away.
+			default:
+				var r Record
+				if err := json.Unmarshal([]byte(text), &r); err != nil {
+					return nil, 0, fmt.Errorf("campaign: checkpoint %s line %d: %w", path, line, err)
+				}
+				if r.Campaign == "" || r.Point == "" {
+					return nil, 0, fmt.Errorf("campaign: checkpoint %s line %d: record missing campaign/point", path, line)
+				}
+				rs.Add(&r)
+				cleanLen = offset
+			}
+		}
+		if readErr == io.EOF {
+			break
+		}
+		if readErr != nil {
+			return nil, 0, fmt.Errorf("campaign: read checkpoint: %w", readErr)
+		}
+	}
+	return rs, cleanLen, nil
+}

@@ -1,11 +1,15 @@
 // Package expt defines one registered, runnable experiment per theorem and
-// figure of the paper (see DESIGN.md §3 for the index). Each experiment
-// regenerates a table whose *shape* validates the paper's claim: who wins,
-// by what factor, and how quantities scale in n, d, D and λ.
+// figure of the paper (the experiment ↔ paper index lives in README.md,
+// "Experiment index"). Each experiment regenerates a table whose *shape*
+// validates the paper's claim: who wins, by what factor, and how quantities
+// scale in n, d, D and λ.
 //
-// Experiments are shared by cmd/experiments (which renders EXPERIMENTS.md)
-// and the root-level benchmark harness (one testing.B benchmark per
-// experiment).
+// An experiment is a declarative grid spec on the internal/campaign engine:
+// Points enumerates its grid, Run executes the trials of one point (through
+// sweep.RunTrialsScratch), and Render rebuilds its tables from the recorded
+// per-point samples. The engine owns seeding, sharding, JSONL checkpointing
+// and resume; Experiment.Run wraps it for in-memory callers (tests, the
+// root-level benchmark harness, cmd/experiments).
 package expt
 
 import (
@@ -13,47 +17,69 @@ import (
 	"math"
 	"sort"
 
+	"repro/internal/campaign"
 	"repro/internal/graph"
 	"repro/internal/radio"
 	"repro/internal/rng"
 	"repro/internal/sweep"
 )
 
-// Config controls experiment scale and reproducibility.
-type Config struct {
-	// Full selects the paper-scale parameter grid; false runs a reduced grid
-	// suitable for CI and benchmarks.
-	Full bool
-	// Seed is the base seed; every trial seed derives from it.
-	Seed uint64
-	// Workers bounds harness parallelism (0 = GOMAXPROCS).
-	Workers int
-}
+// Config controls experiment scale and reproducibility (an alias of the
+// engine's config so campaigns and experiments share one type).
+type Config = campaign.Config
 
 // trials returns the per-point repetition count for the configured scale.
-func (c Config) trials() int {
+func trials(c Config) int {
 	if c.Full {
 		return 30
 	}
 	return 8
 }
 
-// Experiment is a registered, runnable reproduction unit.
+// Trials exposes the per-point repetition count (for record metadata).
+func Trials(c Config) int { return trials(c) }
+
+// Experiment is a registered, runnable reproduction unit: identity plus its
+// campaign grid spec.
 type Experiment struct {
 	ID       string // stable identifier, e.g. "E1"
 	Title    string
 	PaperRef string // theorem/figure the experiment validates
-	Run      func(Config) []*sweep.Table
+	Campaign campaign.Campaign
 }
 
-var registry []Experiment
-
-func register(e Experiment) {
-	for _, x := range registry {
-		if x.ID == e.ID {
-			panic("expt: duplicate experiment id " + e.ID)
-		}
+// Run executes the experiment's whole grid in memory and renders its
+// tables — the non-streaming path used by tests and benchmarks. The
+// streaming path (checkpoints, shards, resume) is campaign.Run over Units.
+func (e Experiment) Run(cfg Config) []*sweep.Table {
+	rs, err := campaign.Run([]campaign.Unit{{ID: e.ID, C: e.Campaign}},
+		campaign.RunOptions{Config: cfg, Trials: trials(cfg)})
+	if err != nil {
+		// In-memory runs have no I/O; an error here is a malformed campaign.
+		panic(fmt.Sprintf("expt %s: %v", e.ID, err))
 	}
+	return e.Campaign.Render(cfg, campaign.NewView(rs, e.ID))
+}
+
+var (
+	registry    []Experiment
+	registryIDs = map[string]int{} // id → index in registry
+)
+
+// register adds an experiment at init time. IDs must be non-empty and
+// unique; violations are programming errors and panic with a message naming
+// the offender.
+func register(e Experiment) {
+	if e.ID == "" {
+		panic("expt: register: empty experiment ID (title " + e.Title + ")")
+	}
+	if _, dup := registryIDs[e.ID]; dup {
+		panic("expt: register: duplicate experiment id " + e.ID)
+	}
+	if e.Campaign.Points == nil || e.Campaign.Run == nil || e.Campaign.Render == nil {
+		panic("expt: register: experiment " + e.ID + " has an incomplete campaign")
+	}
+	registryIDs[e.ID] = len(registry)
 	registry = append(registry, e)
 }
 
@@ -66,10 +92,22 @@ func All() []Experiment {
 	return out
 }
 
+// Units adapts experiments to engine units.
+func Units(es []Experiment) []campaign.Unit {
+	out := make([]campaign.Unit, len(es))
+	for i, e := range es {
+		out[i] = campaign.Unit{ID: e.ID, C: e.Campaign}
+	}
+	return out
+}
+
 // idLess orders F* before E* before X* before G* before N*, numerically
-// within a class.
+// within a class. Unknown or empty IDs sort last, lexically.
 func idLess(a, b string) bool {
 	rank := func(id string) (int, int) {
+		if id == "" {
+			return 6, 0
+		}
 		class := 5
 		switch id[0] {
 		case 'F':
@@ -92,15 +130,19 @@ func idLess(a, b string) bool {
 	if ca != cb {
 		return ca < cb
 	}
-	return na < nb
+	if na != nb {
+		return na < nb
+	}
+	return a < b
 }
 
-// ByID looks an experiment up by its identifier.
+// ByID looks an experiment up by its identifier. Empty IDs never match.
 func ByID(id string) (Experiment, bool) {
-	for _, e := range registry {
-		if e.ID == id {
-			return e, true
-		}
+	if id == "" {
+		return Experiment{}, false
+	}
+	if i, ok := registryIDs[id]; ok {
+		return registry[i], true
 	}
 	return Experiment{}, false
 }
@@ -130,6 +172,12 @@ func scratchOf(t sweep.Trial) *trialScratch {
 	return newTrialScratch().(*trialScratch)
 }
 
+// runSweep is the standard point-trial fan-out: trials(cfg) repetitions from
+// the point seed on cfg.Workers workers, with the per-worker scratch bundle.
+func runSweep(cfg Config, seed uint64, fn func(sweep.Trial) sweep.Metrics) campaign.Samples {
+	return sweep.RunTrialsScratch(trials(cfg), seed, cfg.Workers, newTrialScratch, fn)
+}
+
 // broadcastTrial holds everything needed to run one protocol/topology pair
 // repeatedly.
 type broadcastTrial struct {
@@ -155,10 +203,11 @@ const (
 	mInformedF = "informedFrac"
 )
 
-// runBroadcastTrials runs the spec cfg.trials() times and returns the
-// standard metric samples. Failed runs report NaN for informedRound.
-func runBroadcastTrials(cfg Config, spec broadcastTrial) map[string][]float64 {
-	return sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(t sweep.Trial) sweep.Metrics {
+// runBroadcastTrials runs the spec trials(cfg) times from the given point
+// seed and returns the standard metric samples. Failed runs report NaN for
+// informedRound.
+func runBroadcastTrials(cfg Config, seed uint64, spec broadcastTrial) campaign.Samples {
+	return runSweep(cfg, seed, func(t sweep.Trial) sweep.Metrics {
 		ts := scratchOf(t)
 		g, src := spec.makeGraph(t.Seed, ts.graph)
 		proto := spec.makeProto()

@@ -83,10 +83,73 @@ func TestRegistryComplete(t *testing.T) {
 		t.Fatalf("last should be N5, got %s", all[len(all)-1].ID)
 	}
 	for _, e := range all {
-		if e.Title == "" || e.PaperRef == "" || e.Run == nil {
+		if e.Title == "" || e.PaperRef == "" {
 			t.Fatalf("experiment %s incomplete", e.ID)
 		}
+		if e.Campaign.Points == nil || e.Campaign.Run == nil || e.Campaign.Render == nil {
+			t.Fatalf("experiment %s has an incomplete campaign", e.ID)
+		}
 	}
+}
+
+// TestGridEnumeration pins the campaign-spec layer without running trials:
+// every experiment's grid must enumerate at both scales with non-empty,
+// unique point keys (the identity the shard and resume machinery match on),
+// and the full grid must be at least as large as the reduced one.
+func TestGridEnumeration(t *testing.T) {
+	for _, e := range All() {
+		counts := map[bool]int{}
+		for _, full := range []bool{false, true} {
+			cfg := Config{Full: full, Seed: 2009}
+			pts := e.Campaign.Points(cfg)
+			if len(pts) == 0 {
+				t.Errorf("%s: empty grid (full=%v)", e.ID, full)
+			}
+			seen := map[string]bool{}
+			for _, pt := range pts {
+				if pt.Key == "" {
+					t.Errorf("%s: point with empty key (full=%v)", e.ID, full)
+				}
+				if seen[pt.Key] {
+					t.Errorf("%s: duplicate point key %q (full=%v)", e.ID, pt.Key, full)
+				}
+				seen[pt.Key] = true
+			}
+			counts[full] = len(pts)
+		}
+		if counts[true] < counts[false] {
+			t.Errorf("%s: full grid (%d points) smaller than reduced (%d)", e.ID, counts[true], counts[false])
+		}
+	}
+}
+
+func TestRegistryHardening(t *testing.T) {
+	if _, ok := ByID(""); ok {
+		t.Fatal("ByID must reject the empty ID")
+	}
+	if _, ok := ByID("E999"); ok {
+		t.Fatal("ByID invented an experiment")
+	}
+	// idLess must not panic on empty or unknown IDs, and must stay a strict
+	// weak ordering (irreflexive) so sort.Slice is safe.
+	if idLess("", "") || idLess("E1", "E1") {
+		t.Fatal("idLess not irreflexive")
+	}
+	if !idLess("E1", "") || idLess("", "F1") {
+		t.Fatal("empty IDs must sort last")
+	}
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("empty ID", func() { register(Experiment{Title: "nameless"}) })
+	mustPanic("duplicate ID", func() { register(Experiment{ID: "E1", Campaign: e1Campaign()}) })
+	mustPanic("incomplete campaign", func() { register(Experiment{ID: "ZZTest"}) })
 }
 
 func TestF1DistributionTable(t *testing.T) {

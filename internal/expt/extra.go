@@ -3,9 +3,11 @@ package expt
 import (
 	"fmt"
 	"math"
+	"sync"
 	"time"
 
 	"repro/internal/baseline"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/radio"
@@ -15,129 +17,214 @@ import (
 
 func init() {
 	register(Experiment{ID: "X1", Title: "Random geometric graphs (the §5 future-work model)",
-		PaperRef: "§5 Conclusion", Run: runX1})
+		PaperRef: "§5 Conclusion", Campaign: x1Campaign()})
 	register(Experiment{ID: "X4", Title: "Engine: serial vs parallel delivery kernel",
-		PaperRef: "implementation", Run: runX4})
+		PaperRef: "implementation", Campaign: x4Campaign()})
 }
 
-func runX1(cfg Config) []*sweep.Table {
-	n := 600
-	if cfg.Full {
-		n = 2000
-	}
-	// Homogeneous radius above the RGG connectivity threshold
-	// r ≈ sqrt(log n / (π n)); heterogeneous radii in [r, 3r] introduce the
-	// asymmetric links the paper's model allows.
-	rConn := math.Sqrt(math.Log(float64(n)) / (math.Pi * float64(n)))
-	type variant struct {
-		name       string
+// x1Variant is one link model of X1: homogeneous or heterogeneous radii
+// (multiples of the RGG connectivity radius, resolved per scale).
+type x1Variant struct {
+	name  string
+	rminF float64 // factor of r_c
+	rmaxF float64
+}
+
+var x1Variants = []x1Variant{
+	{"homogeneous r=2r_c", 2, 2},
+	{"heterogeneous [r_c, 3r_c]", 1, 3},
+}
+
+var x1Protos = []string{"algorithm1 (G(n,p) assumption)", "algorithm3 (D from probe)", "decay"}
+
+// x1Probe memoizes X1's site-survey probe (mean-degree-derived pEff and
+// sampled diameter): the three protocol points of one link variant share a
+// probe the imperative loop computed once.
+func x1Probe(n int, rmin, rmax float64, seed uint64) (pEff float64, Dest int) {
+	type key struct {
+		n          int
 		rmin, rmax float64
+		seed       uint64
 	}
-	variants := []variant{
-		{"homogeneous r=2r_c", 2 * rConn, 2 * rConn},
-		{"heterogeneous [r_c, 3r_c]", rConn, 3 * rConn},
+	type val struct {
+		pEff float64
+		dest int
 	}
-	t := sweep.NewTable(
-		fmt.Sprintf("X1: broadcasting on random geometric graphs (n=%d)", n),
-		"links", "protocol", "success", "informed fraction", "rounds", "tx/node")
-	for _, v := range variants {
-		v := v
-		// Estimate mean degree and diameter from a probe instance so the
-		// protocols get honest parameters (a deployment would know them from
-		// site planning; the nodes themselves stay oblivious).
-		probe, _ := graph.RandomGeometric(n, v.rmin, v.rmax, rng.New(cfg.Seed^0x9))
-		meanDeg := float64(probe.M()) / float64(n)
-		pEff := meanDeg / float64(n)
-		Dest := graph.DiameterSampled(probe, 32, rng.New(cfg.Seed^0x99))
-		if Dest < 2 {
-			Dest = 2
+	k := key{n, rmin, rmax, seed}
+	if v, ok := x1ProbeCache.Load(k); ok {
+		pv := v.(val)
+		return pv.pEff, pv.dest
+	}
+	probe, _ := graph.RandomGeometric(n, rmin, rmax, rng.New(seed))
+	meanDeg := float64(probe.M()) / float64(n)
+	pEff = meanDeg / float64(n)
+	Dest = graph.DiameterSampled(probe, 32, rng.New(seed^0x90))
+	if Dest < 2 {
+		Dest = 2
+	}
+	x1ProbeCache.Store(k, val{pEff, Dest})
+	return pEff, Dest
+}
+
+var x1ProbeCache sync.Map
+
+func x1Grid(cfg Config) []campaign.Point {
+	var pts []campaign.Point
+	for _, v := range x1Variants {
+		for _, proto := range x1Protos {
+			pts = append(pts, campaign.Pt(
+				fmt.Sprintf("links=%s/proto=%s", v.name, proto), [2]any{v, proto},
+				"links", v.name, "proto", proto))
 		}
-		for _, proto := range []struct {
-			name string
-			make func() radio.Broadcaster
-		}{
-			{"algorithm1 (G(n,p) assumption)", func() radio.Broadcaster { return core.NewAlgorithm1(pEff) }},
-			{"algorithm3 (D from probe)", func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) }},
-			{"decay", func() radio.Broadcaster { return baseline.NewDecay(2*Dest + 16) }},
-		} {
-			proto := proto
-			out := runBroadcastTrials(cfg, broadcastTrial{
+	}
+	return pts
+}
+
+func x1Campaign() campaign.Campaign {
+	return campaign.Campaign{
+		Points: x1Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n := 600
+			if cfg.Full {
+				n = 2000
+			}
+			// Homogeneous radius above the RGG connectivity threshold
+			// r ≈ sqrt(log n / (π n)); heterogeneous radii in [r, 3r] introduce
+			// the asymmetric links the paper's model allows.
+			rConn := math.Sqrt(math.Log(float64(n)) / (math.Pi * float64(n)))
+			d := pt.Data.([2]any)
+			v := d[0].(x1Variant)
+			rmin, rmax := v.rminF*rConn, v.rmaxF*rConn
+			// Estimate mean degree and diameter from a probe instance so the
+			// protocols get honest parameters (a deployment would know them from
+			// site planning; the nodes themselves stay oblivious).
+			pEff, Dest := x1Probe(n, rmin, rmax, cfg.Seed^0x9)
+			var makeProto func() radio.Broadcaster
+			switch d[1].(string) {
+			case x1Protos[0]:
+				makeProto = func() radio.Broadcaster { return core.NewAlgorithm1(pEff) }
+			case x1Protos[1]:
+				makeProto = func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) }
+			default:
+				makeProto = func() radio.Broadcaster { return baseline.NewDecay(2*Dest + 16) }
+			}
+			return runBroadcastTrials(cfg, seed, broadcastTrial{
 				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
-					g, _ := graph.RandomGeometric(n, v.rmin, v.rmax, rng.New(seed))
+					g, _ := graph.RandomGeometric(n, rmin, rmax, rng.New(seed))
 					return g, 0
 				},
-				makeProto: proto.make,
+				makeProto: makeProto,
 				opts:      radio.Options{MaxRounds: 200000},
 			})
-			rounds := math.NaN()
-			if sweep.RateOf(out, mSuccess) > 0 {
-				rounds = sweep.MeanOf(out, mRounds)
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			n := 600
+			if cfg.Full {
+				n = 2000
 			}
-			t.AddRow(v.name, proto.name,
-				sweep.F(sweep.RateOf(out, mSuccess)),
-				sweep.F(sweep.MeanOf(out, mInformedF)),
-				sweep.F(rounds), sweep.F(sweep.MeanOf(out, mTxPerNode)))
-		}
+			t := sweep.NewTable(
+				fmt.Sprintf("X1: broadcasting on random geometric graphs (n=%d)", n),
+				"links", "protocol", "success", "informed fraction", "rounds", "tx/node")
+			for _, pt := range x1Grid(cfg) {
+				d := pt.Data.([2]any)
+				out := v.Samples(pt.Key)
+				rounds := math.NaN()
+				if sweep.RateOf(out, mSuccess) > 0 {
+					rounds = sweep.MeanOf(out, mRounds)
+				}
+				t.AddRow(d[0].(x1Variant).name, d[1].(string),
+					sweep.F(sweep.RateOf(out, mSuccess)),
+					sweep.F(sweep.MeanOf(out, mInformedF)),
+					sweep.F(rounds), sweep.F(sweep.MeanOf(out, mTxPerNode)))
+			}
+			t.Note = "The §5 future-work model. Algorithm 1's analysis leans on G(n,p)'s lack of " +
+				"locality: on geometric graphs the Phase-1 frontier only reaches geometrically " +
+				"nearby nodes, so coverage degrades (informed fraction < 1) while the " +
+				"diameter-aware Algorithm 3 and Decay stay robust. Heterogeneous radii add " +
+				"asymmetric links without changing that picture."
+			return []*sweep.Table{t}
+		},
 	}
-	t.Note = "The §5 future-work model. Algorithm 1's analysis leans on G(n,p)'s lack of " +
-		"locality: on geometric graphs the Phase-1 frontier only reaches geometrically " +
-		"nearby nodes, so coverage degrades (informed fraction < 1) while the " +
-		"diameter-aware Algorithm 3 and Decay stay robust. Heterogeneous radii add " +
-		"asymmetric links without changing that picture."
-	return []*sweep.Table{t}
 }
 
-func runX4(cfg Config) []*sweep.Table {
-	n := 30000
-	rounds := 40
-	if cfg.Full {
-		n = 120000
-		rounds = 60
+// x4Kernel is one delivery-kernel configuration.
+type x4Kernel struct {
+	name     string
+	parallel bool
+	workers  int
+}
+
+var x4Kernels = []x4Kernel{
+	{"serial", false, 1},
+	{"parallel", true, 2}, {"parallel", true, 4},
+	{"parallel", true, 8}, {"parallel", true, 16},
+}
+
+// x4Campaign measures delivery-kernel throughput. Its samples contain
+// wall-clock timings, so — alone among the campaigns — its records are not
+// reproducible byte-for-byte across runs or hosts; the checksum samples
+// still are.
+func x4Campaign() campaign.Campaign {
+	return campaign.Campaign{
+		Points: func(cfg Config) []campaign.Point {
+			return []campaign.Point{campaign.Pt("kernels", nil)}
+		},
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n := 30000
+			rounds := 40
+			if cfg.Full {
+				n = 120000
+				rounds = 60
+			}
+			p := 8 * math.Log(float64(n)) / float64(n)
+			g := graph.GNPDirected(n, p, rng.New(seed))
+			s := campaign.Samples{
+				"n":       {float64(n)},
+				"rounds":  {float64(rounds)},
+				"meanDeg": {float64(g.M()) / float64(n)},
+			}
+			for _, k := range x4Kernels {
+				proto := &baseline.FixedProb{Q: 0.2}
+				start := time.Now()
+				res := radio.RunBroadcast(g, 0, proto, rng.New(seed^7),
+					radio.Options{MaxRounds: rounds, Parallel: k.parallel, Workers: k.workers})
+				dur := time.Since(start)
+				sum := res.TotalTx + int64(res.Informed)*1000003 + res.Collisions
+				s["nanos"] = append(s["nanos"], float64(dur.Nanoseconds()))
+				s["checksum"] = append(s["checksum"], float64(sum))
+			}
+			return s
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			s := v.Samples("kernels")
+			n := int(s["n"][0])
+			rounds := int(s["rounds"][0])
+			meanDeg := s["meanDeg"][0]
+			t := sweep.NewTable(
+				fmt.Sprintf("X4: delivery-kernel throughput (G(n=%d,p), %d rounds of q=0.2 flooding)", n, rounds),
+				"kernel", "workers", "wall time", "edges scanned/s", "result checksum")
+			for i, k := range x4Kernels {
+				dur := time.Duration(int64(s["nanos"][i]))
+				sum := int64(s["checksum"][i])
+				// Rough work estimate: transmitters ≈ 0.2·n per round, each
+				// scanning its out-degree ≈ meanDeg edges.
+				edges := 0.2 * float64(n) * meanDeg * float64(rounds)
+				t.AddRow(k.name, sweep.FInt(k.workers), dur.Round(time.Millisecond).String(),
+					sweep.F(edges/dur.Seconds()), sweep.FInt(int(sum%1000000)))
+			}
+			agree := "identical results across kernels"
+			for _, c := range s["checksum"] {
+				if c != s["checksum"][0] {
+					agree = "KERNEL MISMATCH"
+				}
+			}
+			t.Note = "The receiver-sharded two-pass kernel (per-worker buckets, then contention-free " +
+				"per-shard counting) is bit-identical to the serial kernel — " + agree + ". It uses " +
+				"no atomics; its win over serial requires real cores and hit arrays too big for " +
+				"cache (million-node rounds), else the extra bucket traffic dominates. The harness " +
+				"still parallelises across independent trials for sweeps, which scales linearly — " +
+				"the kernel matters for single very large runs."
+			return []*sweep.Table{t}
+		},
 	}
-	p := 8 * math.Log(float64(n)) / float64(n)
-	g := graph.GNPDirected(n, p, rng.New(cfg.Seed))
-	t := sweep.NewTable(
-		fmt.Sprintf("X4: delivery-kernel throughput (G(n=%d,p), %d rounds of q=0.2 flooding)", n, rounds),
-		"kernel", "workers", "wall time", "edges scanned/s", "result checksum")
-	run := func(parallel bool, workers int) (time.Duration, int64) {
-		proto := &baseline.FixedProb{Q: 0.2}
-		start := time.Now()
-		res := radio.RunBroadcast(g, 0, proto, rng.New(cfg.Seed^7),
-			radio.Options{MaxRounds: rounds, Parallel: parallel, Workers: workers})
-		return time.Since(start), res.TotalTx + int64(res.Informed)*1000003 + res.Collisions
-	}
-	type kernel struct {
-		name     string
-		parallel bool
-		workers  int
-	}
-	kernels := []kernel{
-		{"serial", false, 1},
-		{"parallel", true, 2}, {"parallel", true, 4},
-		{"parallel", true, 8}, {"parallel", true, 16},
-	}
-	var checksums []int64
-	meanDeg := float64(g.M()) / float64(n)
-	for _, k := range kernels {
-		dur, sum := run(k.parallel, k.workers)
-		checksums = append(checksums, sum)
-		// Rough work estimate: transmitters ≈ 0.2·n per round, each scanning
-		// its out-degree ≈ meanDeg edges.
-		edges := 0.2 * float64(n) * meanDeg * float64(rounds)
-		t.AddRow(k.name, sweep.FInt(k.workers), dur.Round(time.Millisecond).String(),
-			sweep.F(edges/dur.Seconds()), sweep.FInt(int(sum%1000000)))
-	}
-	agree := "identical results across kernels"
-	for _, c := range checksums {
-		if c != checksums[0] {
-			agree = "KERNEL MISMATCH"
-		}
-	}
-	t.Note = "The receiver-sharded two-pass kernel (per-worker buckets, then contention-free " +
-		"per-shard counting) is bit-identical to the serial kernel — " + agree + ". It uses " +
-		"no atomics; its win over serial requires real cores and hit arrays too big for " +
-		"cache (million-node rounds), else the extra bucket traffic dominates. The harness " +
-		"still parallelises across independent trials for sweeps, which scales linearly — " +
-		"the kernel matters for single very large runs."
-	return []*sweep.Table{t}
 }

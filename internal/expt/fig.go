@@ -3,6 +3,7 @@ package expt
 import (
 	"fmt"
 
+	"repro/internal/campaign"
 	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/lowerbound"
@@ -14,113 +15,213 @@ func init() {
 		ID:       "F1",
 		Title:    "Distribution α vs α′ (Fig. 1)",
 		PaperRef: "Fig. 1, §4.1",
-		Run:      runF1,
+		Campaign: f1Campaign(),
 	})
 	register(Experiment{
 		ID:       "F2",
 		Title:    "Lower-bound network of Theorem 4.4 (Fig. 2)",
 		PaperRef: "Fig. 2, §4.2",
-		Run:      runF2,
+		Campaign: f2Campaign(),
 	})
 }
 
-// runF1 regenerates Fig. 1 as a table: the pmf of the paper's α next to
-// Czumaj–Rytter's α′ for a representative (n, D), and checks every
-// inequality the proofs use.
-func runF1(cfg Config) []*sweep.Table {
-	n, D := 1<<16, 1<<6
+// f1Scale returns the (n, D) operating point for the configured scale.
+func f1Scale(cfg Config) (n, D int) {
 	if cfg.Full {
-		n, D = 1<<20, 1<<8
+		return 1 << 20, 1 << 8
 	}
-	lambda := dist.LambdaFor(n, D)
-	a := dist.NewAlphaForDiameter(n, D)
-	ap := dist.NewAlphaPrimeForDiameter(n, D)
-	L := a.Levels()
-	floor := 1 / (2 * float64(L))
-
-	t := sweep.NewTable(
-		fmt.Sprintf("F1: level distributions for n=%d, D=%d (λ=%d, L=%d)", n, D, lambda, L),
-		"k", "alpha_k", "alphaPrime_k", "alpha_k/alphaPrime_k", "floor 1/(2 log n)", "region")
-	for k := 1; k <= L; k++ {
-		region := "plateau (k <= λ)"
-		if k > lambda {
-			region = "geometric decay"
-		}
-		t.AddRow(sweep.FInt(k), sweep.F(a.Prob(k)), sweep.F(ap.Prob(k)),
-			sweep.F(a.Prob(k)/ap.Prob(k)), sweep.F(floor), region)
-	}
-	status := "all paper inequalities hold (α_k ≥ α′_k/2, α_k ≥ 1/(2 log n), α_k = O(1/λ))"
-	if err := dist.CheckPaperProperties(a, ap, lambda); err != nil {
-		status = "VIOLATION: " + err.Error()
-	}
-	t.Note = fmt.Sprintf("E[2^-I]: alpha=%.4g (Θ(1/λ)), alphaPrime=%.4g. Check: %s.",
-		a.ExpectedSendProb(), ap.ExpectedSendProb(), status)
-
-	// Second table: the structural difference that drives Theorem 4.1 — the
-	// per-round probability of crossing a star of size 2^k (deep layers are
-	// where α's floor pays off).
-	t2 := sweep.NewTable(
-		fmt.Sprintf("F1b: per-round star-crossing probability, n=%d, D=%d", n, D),
-		"star size m", "P_cross under alpha", "P_cross under alphaPrime", "alpha advantage")
-	for k := 2; k <= L; k += 2 {
-		m := 1 << uint(k)
-		pa := lowerbound.StarCrossProb(a, m)
-		pp := lowerbound.StarCrossProb(ap, m)
-		t2.AddRow(sweep.FInt(m), sweep.F(pa), sweep.F(pp), sweep.F(pa/pp))
-	}
-	t2.Note = "Both distributions cross shallow stars equally fast; α crosses deep stars " +
-		"Θ(λ·2^{k-λ}/log n)-times faster thanks to the 1/(2 log n) floor — this is why " +
-		"Algorithm 3 only needs a Θ(log² n) activity window."
-	return []*sweep.Table{t, t2}
+	return 1 << 16, 1 << 6
 }
 
-// runF2 regenerates Fig. 2: the layered star+path lower-bound network, with
-// structural validation and the Theorem 4.4 bound it certifies.
-func runF2(cfg Config) []*sweep.Table {
-	type pt struct{ n, D int }
-	pts := []pt{{64, 24}, {256, 64}, {1024, 128}}
-	if cfg.Full {
-		pts = append(pts, pt{4096, 512}, pt{16384, 1024})
-	}
-	t := sweep.NewTable("F2: Theorem 4.4 network instances (Fig. 2)",
-		"star param n", "D", "stars L=log2 n", "total nodes", "edges",
-		"source ecc (want D)", "Thm 4.4 bound tx/node")
-	for _, p := range pts {
-		net := graph.NewFig2Network(p.n, p.D)
-		ecc, reach := graph.Eccentricity(net.G, net.Source)
-		eccCell := sweep.FInt(ecc)
-		if reach != net.G.N() {
-			eccCell = "UNREACHABLE"
+// f1Campaign regenerates Fig. 1 as a table: the pmf of the paper's α next
+// to Czumaj–Rytter's α′ for a representative (n, D), and checks every
+// inequality the proofs use. Both points are analytic (no trials); the
+// samples are the pmf and star-crossing vectors indexed by level.
+func f1Campaign() campaign.Campaign {
+	points := func(cfg Config) []campaign.Point {
+		n, D := f1Scale(cfg)
+		ps := []string{"n", fmt.Sprint(n), "D", fmt.Sprint(D)}
+		return []campaign.Point{
+			campaign.Pt("dist", nil, ps...),
+			campaign.Pt("cross", nil, ps...),
 		}
-		t.AddRow(sweep.FInt(p.n), sweep.FInt(p.D), sweep.FInt(net.L),
-			sweep.FInt(net.G.N()), sweep.FInt(net.G.M()), eccCell,
-			sweep.F(lowerbound.Theorem44Bound(net.G.N(), p.D, 1)))
 	}
-	t.Note = "Star S_i has 2^i leaves; leaves of S_i feed centre c_{i+1}; the last star feeds a " +
-		"directed path. Any time-invariant distribution crosses its worst star with per-round " +
-		"probability ≤ ~1/ln n (see F2b), forcing Ω(log² n) active rounds per node."
+	return campaign.Campaign{
+		Points: points,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n, D := f1Scale(cfg)
+			a := dist.NewAlphaForDiameter(n, D)
+			ap := dist.NewAlphaPrimeForDiameter(n, D)
+			L := a.Levels()
+			switch pt.Key {
+			case "dist":
+				s := campaign.Samples{
+					"lambda": {float64(dist.LambdaFor(n, D))},
+					"expA":   {a.ExpectedSendProb()},
+					"expAp":  {ap.ExpectedSendProb()},
+				}
+				for k := 1; k <= L; k++ {
+					s["alpha"] = append(s["alpha"], a.Prob(k))
+					s["alphaPrime"] = append(s["alphaPrime"], ap.Prob(k))
+				}
+				return s
+			default: // "cross": per-round star-crossing probabilities
+				s := campaign.Samples{}
+				for k := 2; k <= L; k += 2 {
+					m := 1 << uint(k)
+					s["pa"] = append(s["pa"], lowerbound.StarCrossProb(a, m))
+					s["pp"] = append(s["pp"], lowerbound.StarCrossProb(ap, m))
+				}
+				return s
+			}
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			n, D := f1Scale(cfg)
+			a := dist.NewAlphaForDiameter(n, D)
+			ap := dist.NewAlphaPrimeForDiameter(n, D)
+			L := a.Levels()
+			floor := 1 / (2 * float64(L))
+			ds := v.Samples("dist")
+			lambda := int(ds["lambda"][0])
 
-	// F2b: the Theorem 4.4 argument, computed: Σ_i P(cross S_i) ≤ 1/ln 2 for
-	// every distribution, hence min_i P ≤ 1.44/L.
+			t := sweep.NewTable(
+				fmt.Sprintf("F1: level distributions for n=%d, D=%d (λ=%d, L=%d)", n, D, lambda, L),
+				"k", "alpha_k", "alphaPrime_k", "alpha_k/alphaPrime_k", "floor 1/(2 log n)", "region")
+			for k := 1; k <= L; k++ {
+				region := "plateau (k <= λ)"
+				if k > lambda {
+					region = "geometric decay"
+				}
+				ak, apk := ds["alpha"][k-1], ds["alphaPrime"][k-1]
+				t.AddRow(sweep.FInt(k), sweep.F(ak), sweep.F(apk),
+					sweep.F(ak/apk), sweep.F(floor), region)
+			}
+			status := "all paper inequalities hold (α_k ≥ α′_k/2, α_k ≥ 1/(2 log n), α_k = O(1/λ))"
+			if err := dist.CheckPaperProperties(a, ap, lambda); err != nil {
+				status = "VIOLATION: " + err.Error()
+			}
+			t.Note = fmt.Sprintf("E[2^-I]: alpha=%.4g (Θ(1/λ)), alphaPrime=%.4g. Check: %s.",
+				ds["expA"][0], ds["expAp"][0], status)
+
+			// Second table: the structural difference that drives Theorem 4.1 —
+			// the per-round probability of crossing a star of size 2^k (deep
+			// layers are where α's floor pays off).
+			cs := v.Samples("cross")
+			t2 := sweep.NewTable(
+				fmt.Sprintf("F1b: per-round star-crossing probability, n=%d, D=%d", n, D),
+				"star size m", "P_cross under alpha", "P_cross under alphaPrime", "alpha advantage")
+			for i, k := 0, 2; k <= L; i, k = i+1, k+2 {
+				m := 1 << uint(k)
+				pa, pp := cs["pa"][i], cs["pp"][i]
+				t2.AddRow(sweep.FInt(m), sweep.F(pa), sweep.F(pp), sweep.F(pa/pp))
+			}
+			t2.Note = "Both distributions cross shallow stars equally fast; α crosses deep stars " +
+				"Θ(λ·2^{k-λ}/log n)-times faster thanks to the 1/(2 log n) floor — this is why " +
+				"Algorithm 3 only needs a Θ(log² n) activity window."
+			return []*sweep.Table{t, t2}
+		},
+	}
+}
+
+// f2Inst is one Theorem 4.4 network instance.
+type f2Inst struct{ n, D int }
+
+// f2Instances is the (star param, diameter) grid of Theorem 4.4 network
+// instances for the configured scale.
+func f2Instances(cfg Config) []campaign.Point {
+	pts := []f2Inst{{64, 24}, {256, 64}, {1024, 128}}
+	if cfg.Full {
+		pts = append(pts, f2Inst{4096, 512}, f2Inst{16384, 1024})
+	}
+	out := make([]campaign.Point, len(pts))
+	for i, p := range pts {
+		out[i] = campaign.Pt(fmt.Sprintf("inst/n=%d/D=%d", p.n, p.D), p,
+			"n", fmt.Sprint(p.n), "D", fmt.Sprint(p.D))
+	}
+	return out
+}
+
+// f2BudgetDists enumerates the time-invariant distributions of the F2b
+// star-crossing budget table (fixed, scale-independent).
+func f2BudgetDists() []*dist.Distribution {
 	n := 1 << 16
-	L := 16
-	t2 := sweep.NewTable("F2b: star-crossing budget of time-invariant distributions (n=65536)",
-		"distribution", "Σ_i P(cross S_i)", "min_i P(cross S_i)", "worst star", "1.44/L")
-	for _, d := range []*dist.Distribution{
+	return []*dist.Distribution{
 		dist.NewUniformLevels(n),
 		dist.NewAlpha(n, 4),
 		dist.NewAlpha(n, 8),
 		dist.NewAlphaPrime(n, 8),
 		dist.NewPointLevel(n, 8),
-	} {
-		sum := lowerbound.SumStarCrossProb(d, L)
-		minP, arg := lowerbound.MinStarCrossProb(d, L)
-		t2.AddRow(d.Name, sweep.F(sum), sweep.F(minP),
-			fmt.Sprintf("S_%d (2^%d leaves)", arg, arg), sweep.F(1.44/float64(L)))
 	}
-	t2.Note = "The sum is bounded by 1/ln 2 ≈ 1.443 regardless of the distribution (the paper's " +
-		"integral bound), so some star always has crossing probability ≤ ~1/ln n: no " +
-		"time-invariant oblivious sender can be fast on every layer without spending " +
-		"Ω(log² n / log(n/D)) transmissions per node."
-	return []*sweep.Table{t, t2}
+}
+
+// f2Campaign regenerates Fig. 2: the layered star+path lower-bound network,
+// with structural validation and the Theorem 4.4 bound it certifies.
+func f2Campaign() campaign.Campaign {
+	points := func(cfg Config) []campaign.Point {
+		return append(f2Instances(cfg), campaign.Pt("budget", nil))
+	}
+	return campaign.Campaign{
+		Points: points,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			if pt.Key == "budget" {
+				// F2b: the Theorem 4.4 argument, computed: Σ_i P(cross S_i) ≤
+				// 1/ln 2 for every distribution, hence min_i P ≤ 1.44/L.
+				L := 16
+				s := campaign.Samples{"L": {float64(L)}}
+				for _, d := range f2BudgetDists() {
+					sum := lowerbound.SumStarCrossProb(d, L)
+					minP, arg := lowerbound.MinStarCrossProb(d, L)
+					s["sum"] = append(s["sum"], sum)
+					s["minP"] = append(s["minP"], minP)
+					s["arg"] = append(s["arg"], float64(arg))
+				}
+				return s
+			}
+			p := pt.Data.(f2Inst)
+			net := graph.NewFig2Network(p.n, p.D)
+			ecc, reach := graph.Eccentricity(net.G, net.Source)
+			return campaign.Samples{
+				"L":     {float64(net.L)},
+				"nodes": {float64(net.G.N())},
+				"edges": {float64(net.G.M())},
+				"ecc":   {float64(ecc)},
+				"reach": {float64(reach)},
+				"bound": {lowerbound.Theorem44Bound(net.G.N(), p.D, 1)},
+			}
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			t := sweep.NewTable("F2: Theorem 4.4 network instances (Fig. 2)",
+				"star param n", "D", "stars L=log2 n", "total nodes", "edges",
+				"source ecc (want D)", "Thm 4.4 bound tx/node")
+			for _, pt := range f2Instances(cfg) {
+				p := pt.Data.(f2Inst)
+				s := v.Samples(pt.Key)
+				eccCell := sweep.FInt(int(s["ecc"][0]))
+				if int(s["reach"][0]) != int(s["nodes"][0]) {
+					eccCell = "UNREACHABLE"
+				}
+				t.AddRow(sweep.FInt(p.n), sweep.FInt(p.D), sweep.FInt(int(s["L"][0])),
+					sweep.FInt(int(s["nodes"][0])), sweep.FInt(int(s["edges"][0])), eccCell,
+					sweep.F(s["bound"][0]))
+			}
+			t.Note = "Star S_i has 2^i leaves; leaves of S_i feed centre c_{i+1}; the last star feeds a " +
+				"directed path. Any time-invariant distribution crosses its worst star with per-round " +
+				"probability ≤ ~1/ln n (see F2b), forcing Ω(log² n) active rounds per node."
+
+			b := v.Samples("budget")
+			L := int(b["L"][0])
+			t2 := sweep.NewTable("F2b: star-crossing budget of time-invariant distributions (n=65536)",
+				"distribution", "Σ_i P(cross S_i)", "min_i P(cross S_i)", "worst star", "1.44/L")
+			for i, d := range f2BudgetDists() {
+				arg := int(b["arg"][i])
+				t2.AddRow(d.Name, sweep.F(b["sum"][i]), sweep.F(b["minP"][i]),
+					fmt.Sprintf("S_%d (2^%d leaves)", arg, arg), sweep.F(1.44/float64(L)))
+			}
+			t2.Note = "The sum is bounded by 1/ln 2 ≈ 1.443 regardless of the distribution (the paper's " +
+				"integral bound), so some star always has crossing probability ≤ ~1/ln n: no " +
+				"time-invariant oblivious sender can be fast on every layer without spending " +
+				"Ω(log² n / log(n/D)) transmissions per node."
+			return []*sweep.Table{t, t2}
+		},
+	}
 }

@@ -1,0 +1,56 @@
+package expt
+
+// The refactor-equivalence pin: the campaign-engine rewrite of the
+// experiment layer must emit byte-identical markdown tables to the
+// pre-refactor imperative loops. The files under testdata/prerefactor were
+// generated from the last imperative-loop revision at reduced scale with
+// seed 777 (the same operating point as the engine-invariance test) and
+// must NOT be regenerated from current code when experiments change
+// intentionally — instead, regenerate them (UPDATE_EXPT_GOLDEN=1 go test
+// -run TestCampaignMatchesPreRefactorGolden ./internal/expt) in the same
+// change that alters an experiment's definition, so the diff shows exactly
+// which cells moved.
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// goldenIDs cover every experiment source file with at least one
+// representative: fig.go (F1, F2), random.go (E1, E2, E5), gossip.go (E6),
+// general.go (E7), lower.go (E9), adversity/battery/hetero via X2/X8,
+// geom.go (G2), lifetime.go (N2). The slower experiments and the
+// wall-clock-reporting X4 are exercised by the shape tests instead.
+var goldenIDs = []string{"F1", "F2", "E1", "E2", "E5", "E6", "E7", "E9", "X2", "X8", "G2", "N2"}
+
+func TestCampaignMatchesPreRefactorGolden(t *testing.T) {
+	c := Config{Full: false, Seed: 777, Workers: 0}
+	for _, id := range goldenIDs {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			e, ok := ByID(id)
+			if !ok {
+				t.Fatalf("experiment %s not registered", id)
+			}
+			blob := ""
+			for _, tb := range e.Run(c) {
+				blob += tb.Markdown() + "\n"
+			}
+			path := filepath.Join("testdata", "prerefactor", id+".md")
+			if os.Getenv("UPDATE_EXPT_GOLDEN") != "" {
+				if err := os.WriteFile(path, []byte(blob), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if blob != string(want) {
+				t.Errorf("%s: campaign-engine tables differ from pre-refactor golden %s\ngot:\n%s", id, path, blob)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"math"
 
 	"repro/internal/baseline"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/energy"
 	"repro/internal/graph"
@@ -25,15 +26,15 @@ import (
 
 func init() {
 	register(Experiment{ID: "N1", Title: "Network lifetime vs protocol on UDG: unit-cost vs sensor-radio energy",
-		PaperRef: "§4 energy bounds as battery life; arXiv:2004.06380", Run: runN1})
+		PaperRef: "§4 energy bounds as battery life; arXiv:2004.06380", Campaign: n1Campaign()})
 	register(Experiment{ID: "N2", Title: "Energy-latency Pareto front over the transmit probability",
-		PaperRef: "Thm 4.2 tradeoff, with idle-listen cost", Run: runN2})
+		PaperRef: "Thm 4.2 tradeoff, with idle-listen cost", Campaign: n2Campaign()})
 	register(Experiment{ID: "N3", Title: "Listen-cost sensitivity of network lifetime",
-		PaperRef: "idle-listening dominance (arXiv:1501.06647)", Run: runN3})
+		PaperRef: "idle-listening dominance (arXiv:1501.06647)", Campaign: n3Campaign()})
 	register(Experiment{ID: "N4", Title: "Battery-heterogeneous networks: first death and partition",
-		PaperRef: "per-node energy bounds under unequal budgets", Run: runN4})
+		PaperRef: "per-node energy bounds under unequal budgets", Campaign: n4Campaign()})
 	register(Experiment{ID: "N5", Title: "Mobile-epoch lifetime at subcritical radius",
-		PaperRef: "§1 mobility motivation + battery depletion", Run: runN5})
+		PaperRef: "§1 mobility motivation + battery depletion", Campaign: n5Campaign()})
 }
 
 // fRound renders a lifetime round, or a dash when the mark was not reached.
@@ -128,302 +129,406 @@ func lifetimeRow(out map[string][]float64) []string {
 	}
 }
 
-func runN1(cfg Config) []*sweep.Table {
-	n := 256
-	maxCampaigns := 60
+// n1Scale returns the topology size and campaign cap for the scale.
+func n1Scale(cfg Config) (n, maxCampaigns int) {
 	if cfg.Full {
-		n = 512
-		maxCampaigns = 120
+		return 512, 120
 	}
-	rc := graph.ConnectivityRadius(n)
-	spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
-	_, Dest := geomProbe(spec, cfg.Seed^0x61)
+	return 256, 60
+}
 
-	protos := []struct {
-		name string
-		make func() radio.Broadcaster
-	}{
-		{"algorithm3 (λ=log n)", func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) }},
-		{"czumaj-rytter", func() radio.Broadcaster { return baseline.NewCzumajRytter(n, Dest, 2) }},
-		{"decay", func() radio.Broadcaster { return baseline.NewDecay(2*Dest + 16) }},
-	}
-	models := []struct {
-		name   string
-		model  energy.Model
-		budget float64
-	}{
-		// Budgets sized so every protocol dies within the campaign cap at
-		// reduced scale but the rankings stay resolved: the unit model only
-		// pays for transmissions; the CC2420 model burns ≈1.08/round while
-		// uninformed, so its budget is round-denominated.
-		{"unit-tx", energy.UnitTx(), 120},
-		{"cc2420", energy.CC2420(), 1200},
-	}
+var (
+	n1Protos = []string{"algorithm3 (λ=log n)", "czumaj-rytter", "decay"}
+	n1Models = []string{"unit-tx", "cc2420"}
+)
 
-	t := sweep.NewTable(
-		fmt.Sprintf("N1: broadcast campaigns before first failure on UDG(n=%d, 2·r_c), per energy model", n),
-		"model", "protocol", "campaigns", "first-death round", "half-death round", "dead fraction", "energy/node")
-	for _, mv := range models {
-		espec := &energy.Spec{Model: mv.model, Budget: mv.budget}
-		for _, pr := range protos {
-			pr := pr
-			out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
+// n1MakeProto builds one of the N battery's protocols.
+func n1MakeProto(proto string, n, Dest int) func() radio.Broadcaster {
+	switch proto {
+	case n1Protos[1]:
+		return func() radio.Broadcaster { return baseline.NewCzumajRytter(n, Dest, 2) }
+	case n1Protos[2]:
+		return func() radio.Broadcaster { return baseline.NewDecay(2*Dest + 16) }
+	default:
+		return func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) }
+	}
+}
+
+// n1Model resolves a model name to the energy model and its budget.
+// Budgets are sized so every protocol dies within the campaign cap at
+// reduced scale but the rankings stay resolved: the unit model only pays
+// for transmissions; the CC2420 model burns ≈1.08/round while uninformed,
+// so its budget is round-denominated.
+func n1Model(name string) (energy.Model, float64) {
+	if name == "cc2420" {
+		return energy.CC2420(), 1200
+	}
+	return energy.UnitTx(), 120
+}
+
+func n1Grid(cfg Config) []campaign.Point {
+	var pts []campaign.Point
+	for _, model := range n1Models {
+		for _, proto := range n1Protos {
+			pts = append(pts, campaign.Pt(
+				fmt.Sprintf("model=%s/proto=%s", model, proto), [2]any{model, proto},
+				"model", model, "proto", proto))
+		}
+	}
+	return pts
+}
+
+func n1Campaign() campaign.Campaign {
+	return campaign.Campaign{
+		Points: n1Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n, maxCampaigns := n1Scale(cfg)
+			rc := graph.ConnectivityRadius(n)
+			spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
+			_, Dest := geomProbe(spec, cfg.Seed^0x61)
+			d := pt.Data.([2]any)
+			model, budget := n1Model(d[0].(string))
+			espec := &energy.Spec{Model: model, Budget: budget}
+			mk := n1MakeProto(d[1].(string), n, Dest)
+			return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
 				ts := scratchOf(tr)
 				g, _ := ts.graph.Geometric(spec, rng.New(tr.Seed))
-				c, last := lifetimeTrial(ts, g, pr.make, espec, rng.New(rng.SubSeed(tr.Seed, 1)), maxCampaigns, 100000, false)
+				c, last := lifetimeTrial(ts, g, mk, espec, rng.New(rng.SubSeed(tr.Seed, 1)), maxCampaigns, 100000, false)
 				return lifetimeMetrics(c, last)
 			})
-			t.AddRow(append([]string{mv.name, pr.name}, lifetimeRow(out)...)...)
-		}
-	}
-	t.Note = "The paper's energy hierarchy, re-measured in what a battery buys. Under the unit-cost " +
-		"model (transmissions only) lifetime is B ÷ (tx/node per campaign) and the low-energy " +
-		"protocols dominate. Under the CC2420 model idle listening costs as much per round as " +
-		"transmitting, so a slow frugal schedule can lose to a fast chatty one — energy " +
-		"efficiency becomes completion TIME efficiency for the uninformed, which is the " +
-		"regime real sensor radios live in."
-	return []*sweep.Table{t}
-}
-
-func runN2(cfg Config) []*sweep.Table {
-	n := 256
-	if cfg.Full {
-		n = 512
-	}
-	rc := graph.ConnectivityRadius(n)
-	spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
-	qs := []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}
-
-	t := sweep.NewTable(
-		fmt.Sprintf("N2: energy-latency Pareto front of fixed(q) on UDG(n=%d, 2·r_c), CC2420 model", n),
-		"q", "success", "rounds", "tx/node", "txE/node", "listenE/node", "totalE/node")
-	espec := &energy.Spec{Model: energy.CC2420()} // unlimited: pure metering
-	for _, q := range qs {
-		q := q
-		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
-			ts := scratchOf(tr)
-			g, _ := ts.graph.Geometric(spec, rng.New(tr.Seed))
-			res := radio.RunBroadcastWith(ts.radio, g, 0, &baseline.FixedProb{Q: q},
-				rng.New(rng.SubSeed(tr.Seed, 1)),
-				radio.Options{MaxRounds: 60000, StopWhenInformed: true, Energy: espec})
-			m := sweep.Metrics{
-				mSuccess: 0, mRounds: math.NaN(), mTxPerNode: res.TxPerNode(),
-				"txE":    res.Energy.TxEnergy / float64(n),
-				"listE":  res.Energy.ListenEnergy / float64(n),
-				"totalE": res.Energy.EnergyPerNode(),
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			n, _ := n1Scale(cfg)
+			t := sweep.NewTable(
+				fmt.Sprintf("N1: broadcast campaigns before first failure on UDG(n=%d, 2·r_c), per energy model", n),
+				"model", "protocol", "campaigns", "first-death round", "half-death round", "dead fraction", "energy/node")
+			for _, pt := range n1Grid(cfg) {
+				d := pt.Data.([2]any)
+				out := v.Samples(pt.Key)
+				t.AddRow(append([]string{d[0].(string), d[1].(string)}, lifetimeRow(out)...)...)
 			}
-			if res.Completed() {
-				m[mSuccess] = 1
-				m[mRounds] = float64(res.InformedRound)
+			t.Note = "The paper's energy hierarchy, re-measured in what a battery buys. Under the unit-cost " +
+				"model (transmissions only) lifetime is B ÷ (tx/node per campaign) and the low-energy " +
+				"protocols dominate. Under the CC2420 model idle listening costs as much per round as " +
+				"transmitting, so a slow frugal schedule can lose to a fast chatty one — energy " +
+				"efficiency becomes completion TIME efficiency for the uninformed, which is the " +
+				"regime real sensor radios live in."
+			return []*sweep.Table{t}
+		},
+	}
+}
+
+var n2Rates = []float64{0.005, 0.01, 0.02, 0.05, 0.1, 0.2, 0.4}
+
+func n2Scale(cfg Config) int {
+	if cfg.Full {
+		return 512
+	}
+	return 256
+}
+
+func n2Grid(cfg Config) []campaign.Point {
+	var pts []campaign.Point
+	for _, q := range n2Rates {
+		pts = append(pts, campaign.Pt(fmt.Sprintf("q=%s", sweep.F(q)), q, "q", sweep.F(q)))
+	}
+	return pts
+}
+
+func n2Campaign() campaign.Campaign {
+	return campaign.Campaign{
+		Points: n2Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n := n2Scale(cfg)
+			rc := graph.ConnectivityRadius(n)
+			spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
+			espec := &energy.Spec{Model: energy.CC2420()} // unlimited: pure metering
+			q := pt.Data.(float64)
+			return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+				ts := scratchOf(tr)
+				g, _ := ts.graph.Geometric(spec, rng.New(tr.Seed))
+				res := radio.RunBroadcastWith(ts.radio, g, 0, &baseline.FixedProb{Q: q},
+					rng.New(rng.SubSeed(tr.Seed, 1)),
+					radio.Options{MaxRounds: 60000, StopWhenInformed: true, Energy: espec})
+				m := sweep.Metrics{
+					mSuccess: 0, mRounds: math.NaN(), mTxPerNode: res.TxPerNode(),
+					"txE":    res.Energy.TxEnergy / float64(n),
+					"listE":  res.Energy.ListenEnergy / float64(n),
+					"totalE": res.Energy.EnergyPerNode(),
+				}
+				if res.Completed() {
+					m[mSuccess] = 1
+					m[mRounds] = float64(res.InformedRound)
+				}
+				return m
+			})
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			n := n2Scale(cfg)
+			t := sweep.NewTable(
+				fmt.Sprintf("N2: energy-latency Pareto front of fixed(q) on UDG(n=%d, 2·r_c), CC2420 model", n),
+				"q", "success", "rounds", "tx/node", "txE/node", "listenE/node", "totalE/node")
+			for _, pt := range n2Grid(cfg) {
+				out := v.Samples(pt.Key)
+				rounds := math.NaN()
+				if sweep.RateOf(out, mSuccess) > 0 {
+					rounds = sweep.MeanOf(out, mRounds)
+				}
+				t.AddRow(sweep.F(pt.Data.(float64)), sweep.F(sweep.RateOf(out, mSuccess)), sweep.F(rounds),
+					sweep.F(sweep.MeanOf(out, mTxPerNode)),
+					sweep.F(sweep.MeanOf(out, "txE")), sweep.F(sweep.MeanOf(out, "listE")),
+					sweep.F(sweep.MeanOf(out, "totalE")))
 			}
-			return m
-		})
-		rounds := math.NaN()
-		if sweep.RateOf(out, mSuccess) > 0 {
-			rounds = sweep.MeanOf(out, mRounds)
-		}
-		t.AddRow(sweep.F(q), sweep.F(sweep.RateOf(out, mSuccess)), sweep.F(rounds),
-			sweep.F(sweep.MeanOf(out, mTxPerNode)),
-			sweep.F(sweep.MeanOf(out, "txE")), sweep.F(sweep.MeanOf(out, "listE")),
-			sweep.F(sweep.MeanOf(out, "totalE")))
+			t.Note = "The two-sided energy-latency tradeoff the unit-cost measure cannot see. Under " +
+				"transmission counting alone, the cheapest q is the smallest that completes; with the " +
+				"receiver chain metered, a slow broadcast bleeds listen energy in every uninformed " +
+				"node, so total energy is U-shaped in q: collisions burn the top end, idle listening " +
+				"the bottom, and the minimum sits at an interior q — the operating point an " +
+				"energy-aware deployment should choose."
+			return []*sweep.Table{t}
+		},
 	}
-	t.Note = "The two-sided energy-latency tradeoff the unit-cost measure cannot see. Under " +
-		"transmission counting alone, the cheapest q is the smallest that completes; with the " +
-		"receiver chain metered, a slow broadcast bleeds listen energy in every uninformed " +
-		"node, so total energy is U-shaped in q: collisions burn the top end, idle listening " +
-		"the bottom, and the minimum sits at an interior q — the operating point an " +
-		"energy-aware deployment should choose."
-	return []*sweep.Table{t}
 }
 
-func runN3(cfg Config) []*sweep.Table {
-	n := 256
-	maxCampaigns := 80
-	if cfg.Full {
-		n = 512
-		maxCampaigns = 160
-	}
-	rc := graph.ConnectivityRadius(n)
-	spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
-	_, Dest := geomProbe(spec, cfg.Seed^0x62)
-	B := 600.0
+var n3ListenCosts = []float64{0, 0.01, 0.1, 0.5, 1.0}
 
-	t := sweep.NewTable(
-		fmt.Sprintf("N3: lifetime of algorithm3 on UDG(n=%d) vs listen cost (budget %.0f, tx cost 1)", n, B),
-		"listen/tx", "campaigns", "first-death round", "half-death round", "dead fraction", "energy/node")
-	for _, lc := range []float64{0, 0.01, 0.1, 0.5, 1.0} {
-		lc := lc
-		espec := &energy.Spec{Model: energy.Model{Tx: 1, Rx: lc, Listen: lc}, Budget: B}
-		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
-			ts := scratchOf(tr)
-			g, _ := ts.graph.Geometric(spec, rng.New(tr.Seed))
-			c, last := lifetimeTrial(ts, g,
-				func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) },
-				espec, rng.New(rng.SubSeed(tr.Seed, 1)), maxCampaigns, 100000, false)
-			return lifetimeMetrics(c, last)
-		})
-		t.AddRow(append([]string{sweep.F(lc)}, lifetimeRow(out)...)...)
+func n3Scale(cfg Config) (n, maxCampaigns int) {
+	if cfg.Full {
+		return 512, 160
 	}
-	t.Note = "A campaign drains ≈ tx/node + listen·(rounds spent uninformed) per node, so lifetime " +
-		"collapses like 1/listen once idle cost passes the transmit budget per campaign — the " +
-		"quantitative version of the ad hoc folklore that the receiver, not the transmitter, " +
-		"empties sensor batteries. The listen/tx = 0 row is the paper's unit-cost measure."
-	return []*sweep.Table{t}
+	return 256, 80
 }
 
-func runN4(cfg Config) []*sweep.Table {
-	n := 256
-	maxCampaigns := 60
-	if cfg.Full {
-		n = 512
-		maxCampaigns = 120
+func n3Grid(cfg Config) []campaign.Point {
+	var pts []campaign.Point
+	for _, lc := range n3ListenCosts {
+		pts = append(pts, campaign.Pt(fmt.Sprintf("listen=%s", sweep.F(lc)), lc,
+			"listen/tx", sweep.F(lc)))
 	}
-	rc := graph.ConnectivityRadius(n)
-	spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
-	_, Dest := geomProbe(spec, cfg.Seed^0x63)
-	B := 1200.0
+	return pts
+}
 
-	// Deterministic budget layouts with equal network totals.
-	uniform := make([]float64, n)
-	bimodal := make([]float64, n)
-	spread4 := make([]float64, n)
+func n3Campaign() campaign.Campaign {
+	const B = 600.0
+	return campaign.Campaign{
+		Points: n3Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n, maxCampaigns := n3Scale(cfg)
+			rc := graph.ConnectivityRadius(n)
+			spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
+			_, Dest := geomProbe(spec, cfg.Seed^0x62)
+			lc := pt.Data.(float64)
+			espec := &energy.Spec{Model: energy.Model{Tx: 1, Rx: lc, Listen: lc}, Budget: B}
+			return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+				ts := scratchOf(tr)
+				g, _ := ts.graph.Geometric(spec, rng.New(tr.Seed))
+				c, last := lifetimeTrial(ts, g,
+					func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) },
+					espec, rng.New(rng.SubSeed(tr.Seed, 1)), maxCampaigns, 100000, false)
+				return lifetimeMetrics(c, last)
+			})
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			n, _ := n3Scale(cfg)
+			t := sweep.NewTable(
+				fmt.Sprintf("N3: lifetime of algorithm3 on UDG(n=%d) vs listen cost (budget %.0f, tx cost 1)", n, B),
+				"listen/tx", "campaigns", "first-death round", "half-death round", "dead fraction", "energy/node")
+			for _, pt := range n3Grid(cfg) {
+				out := v.Samples(pt.Key)
+				t.AddRow(append([]string{sweep.F(pt.Data.(float64))}, lifetimeRow(out)...)...)
+			}
+			t.Note = "A campaign drains ≈ tx/node + listen·(rounds spent uninformed) per node, so lifetime " +
+				"collapses like 1/listen once idle cost passes the transmit budget per campaign — the " +
+				"quantitative version of the ad hoc folklore that the receiver, not the transmitter, " +
+				"empties sensor batteries. The listen/tx = 0 row is the paper's unit-cost measure."
+			return []*sweep.Table{t}
+		},
+	}
+}
+
+var n4Layouts = []string{"uniform B", "bimodal B/2 | 3B/2", "bimodal 2B/5 | 8B/5"}
+
+func n4Scale(cfg Config) (n, maxCampaigns int) {
+	if cfg.Full {
+		return 512, 120
+	}
+	return 256, 60
+}
+
+// n4Budgets builds the deterministic budget layout with equal network total.
+func n4Budgets(layout string, n int, B float64) []float64 {
+	out := make([]float64, n)
 	for i := 0; i < n; i++ {
-		uniform[i] = B
-		if i%2 == 0 {
-			bimodal[i], spread4[i] = 0.5*B, 0.4*B
-		} else {
-			bimodal[i], spread4[i] = 1.5*B, 1.6*B
+		switch layout {
+		case n4Layouts[1]:
+			if i%2 == 0 {
+				out[i] = 0.5 * B
+			} else {
+				out[i] = 1.5 * B
+			}
+		case n4Layouts[2]:
+			if i%2 == 0 {
+				out[i] = 0.4 * B
+			} else {
+				out[i] = 1.6 * B
+			}
+		default:
+			out[i] = B
 		}
 	}
-
-	t := sweep.NewTable(
-		fmt.Sprintf("N4: heterogeneous batteries on UDG(n=%d), equal total charge (CC2420, mean budget %.0f)", n, B),
-		"battery layout", "campaigns", "first-death round", "half-death round", "partition round", "dead fraction")
-	for _, v := range []struct {
-		name    string
-		budgets []float64
-	}{
-		{"uniform B", uniform},
-		{"bimodal B/2 | 3B/2", bimodal},
-		{"bimodal 2B/5 | 8B/5", spread4},
-	} {
-		v := v
-		espec := &energy.Spec{Model: energy.CC2420(), Budgets: v.budgets, TrackPartition: true}
-		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
-			ts := scratchOf(tr)
-			g, _ := ts.graph.Geometric(spec, rng.New(tr.Seed))
-			c, last := lifetimeTrial(ts, g,
-				func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) },
-				espec, rng.New(rng.SubSeed(tr.Seed, 1)), maxCampaigns, 100000, true)
-			m := lifetimeMetrics(c, last)
-			m["partition"] = math.NaN()
-			if last != nil && last.Energy != nil && last.Energy.PartitionRound >= 0 {
-				m["partition"] = float64(last.Energy.PartitionRound)
-			}
-			return m
-		})
-		t.AddRow(v.name, sweep.F(sweep.MeanOf(out, "campaigns")),
-			fRound(meanOr(out, "firstDeath")), fRound(meanOr(out, "halfDeath")),
-			fRound(meanOr(out, "partition")), sweep.F(sweep.MeanOf(out, "deadFrac")))
-	}
-	t.Note = "Same total charge, different distribution. Heterogeneity pulls first-death and " +
-		"half-death to roughly half the uniform rounds (the weak half browns out early), but " +
-		"the first PARTITION of the alive subgraph comes later than uniform's: a uniform bank " +
-		"depletes near-simultaneously (partition arrives with the mass die-off), while the " +
-		"strong half of a bimodal bank holds a connected core long after the weak half is " +
-		"gone — the oblivious protocols never depended on which nodes relay."
-	return []*sweep.Table{t}
+	return out
 }
 
-func runN5(cfg Config) []*sweep.Table {
-	n := 256
-	if cfg.Full {
-		n = 512
+func n4Grid(cfg Config) []campaign.Point {
+	var pts []campaign.Point
+	for _, layout := range n4Layouts {
+		pts = append(pts, campaign.Pt("layout="+layout, layout, "layout", layout))
 	}
-	rc := graph.ConnectivityRadius(n)
-	sub := 0.8 * rc // below the connectivity threshold, as in G5
-	epochs := 40
-	epochLen := 25
-	spec := graph.GeomSpec{N: n, Radius: sub, Torus: true}
-	B := 700.0
+	return pts
+}
 
-	t := sweep.NewTable(
-		fmt.Sprintf("N5: mobile-epoch broadcast at 0.8·r_c under CC2420 batteries (n=%d, budget %.0f, %d epochs × %d rounds)",
-			n, B, epochs, epochLen),
-		"mobility", "success", "informed fraction", "rounds to complete", "first-death round", "dead fraction")
-	type scenario struct {
-		name  string
-		build func(seed uint64) *graph.MobileNetwork
+func n4Campaign() campaign.Campaign {
+	const B = 1200.0
+	return campaign.Campaign{
+		Points: n4Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n, maxCampaigns := n4Scale(cfg)
+			rc := graph.ConnectivityRadius(n)
+			spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
+			_, Dest := geomProbe(spec, cfg.Seed^0x63)
+			espec := &energy.Spec{Model: energy.CC2420(), Budgets: n4Budgets(pt.Data.(string), n, B), TrackPartition: true}
+			return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+				ts := scratchOf(tr)
+				g, _ := ts.graph.Geometric(spec, rng.New(tr.Seed))
+				c, last := lifetimeTrial(ts, g,
+					func() radio.Broadcaster { return core.NewAlgorithm3(n, Dest, 2) },
+					espec, rng.New(rng.SubSeed(tr.Seed, 1)), maxCampaigns, 100000, true)
+				m := lifetimeMetrics(c, last)
+				m["partition"] = math.NaN()
+				if last != nil && last.Energy != nil && last.Energy.PartitionRound >= 0 {
+					m["partition"] = float64(last.Energy.PartitionRound)
+				}
+				return m
+			})
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			n, _ := n4Scale(cfg)
+			t := sweep.NewTable(
+				fmt.Sprintf("N4: heterogeneous batteries on UDG(n=%d), equal total charge (CC2420, mean budget %.0f)", n, B),
+				"battery layout", "campaigns", "first-death round", "half-death round", "partition round", "dead fraction")
+			for _, pt := range n4Grid(cfg) {
+				out := v.Samples(pt.Key)
+				t.AddRow(pt.Data.(string), sweep.F(sweep.MeanOf(out, "campaigns")),
+					fRound(meanOr(out, "firstDeath")), fRound(meanOr(out, "halfDeath")),
+					fRound(meanOr(out, "partition")), sweep.F(sweep.MeanOf(out, "deadFrac")))
+			}
+			t.Note = "Same total charge, different distribution. Heterogeneity pulls first-death and " +
+				"half-death to roughly half the uniform rounds (the weak half browns out early), but " +
+				"the first PARTITION of the alive subgraph comes later than uniform's: a uniform bank " +
+				"depletes near-simultaneously (partition arrives with the mass die-off), while the " +
+				"strong half of a bimodal bank holds a connected core long after the weak half is " +
+				"gone — the oblivious protocols never depended on which nodes relay."
+			return []*sweep.Table{t}
+		},
 	}
-	for _, sc := range []scenario{
-		{"static (no movement)", nil},
-		{"waypoint, slow (v ≈ 0.5·r per epoch)", func(seed uint64) *graph.MobileNetwork {
-			return graph.NewMobileNetwork(spec, graph.MobilityWaypoint, 0.3*sub, 0.7*sub, rng.New(seed))
-		}},
-		{"waypoint, fast (v ≈ 2·r per epoch)", func(seed uint64) *graph.MobileNetwork {
-			return graph.NewMobileNetwork(spec, graph.MobilityWaypoint, 1.5*sub, 2.5*sub, rng.New(seed))
-		}},
-		{"resample every epoch", func(seed uint64) *graph.MobileNetwork {
-			return graph.NewMobileNetwork(spec, graph.MobilityResample, 0, 0, rng.New(seed))
-		}},
-	} {
-		sc := sc
-		espec := &energy.Spec{Model: energy.CC2420(), Budget: B}
-		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
-			ts := scratchOf(tr)
-			// A never-retiring protocol: informed radios keep relaying across
-			// every epoch, and stranded listeners keep listening — so the
-			// simulated clock runs the full deployment window and the energy
-			// account reflects what the radios actually burn.
-			proto := &baseline.FixedProb{Q: 0.05}
-			sess := radio.NewBroadcastSessionWith(ts.radio, n, 0, proto, rng.New(rng.SubSeed(tr.Seed, 1)))
-			var mob *graph.MobileNetwork
-			var static *graph.Digraph
-			if sc.build != nil {
-				mob = sc.build(tr.Seed)
-			} else {
-				static, _ = ts.graph.Geometric(spec, rng.New(tr.Seed))
-			}
-			var res *radio.Result
-			for e := 0; e < epochs; e++ {
-				g := static
-				if mob != nil {
-					g = mob.Snapshot(ts.graph)
-				}
-				res = sess.Run(g, radio.Options{MaxRounds: epochLen, StopWhenInformed: true, Energy: espec})
-				if res.Completed() || sess.EnergyState().AliveCount() == 0 {
-					break
-				}
-				if mob != nil {
-					mob.Advance()
-				}
-			}
-			m := sweep.Metrics{"success": 0,
-				"informedFrac": float64(res.Informed) / float64(n),
-				"rounds":       math.NaN(),
-				"firstDeath":   math.NaN(),
-				"deadFrac":     float64(res.Energy.DeadCount) / float64(n)}
-			if res.Energy.FirstDeathRound >= 0 {
-				m["firstDeath"] = float64(res.Energy.FirstDeathRound)
-			}
-			if res.Completed() {
-				m["success"] = 1
-				m["rounds"] = float64(res.InformedRound)
-			}
-			return m
-		})
-		rounds := math.NaN()
-		if sweep.RateOf(out, "success") > 0 {
-			rounds = sweep.MeanOf(out, "rounds")
-		}
-		t.AddRow(sc.name, sweep.F(sweep.RateOf(out, "success")),
-			sweep.F(sweep.MeanOf(out, "informedFrac")), sweep.F(rounds),
-			fRound(meanOr(out, "firstDeath")), sweep.F(sweep.MeanOf(out, "deadFrac")))
+}
+
+func n5Scale(cfg Config) int {
+	if cfg.Full {
+		return 512
 	}
-	t.Note = "Mobility as an energy resource: below the connectivity threshold a static network " +
-		"strands the broadcast in the source's pocket, where the uninformed majority burns " +
-		"its battery listening for a message that cannot arrive. Movement lets the informed " +
-		"set leak between pockets, completing the broadcast while charge remains; the session " +
-		"carries one battery bank across every topology snapshot."
-	return []*sweep.Table{t}
+	return 256
+}
+
+// n5Epochs/n5EpochLen are the N5 epoch schedule, shared by Run and Render.
+const (
+	n5Epochs   = 40
+	n5EpochLen = 25
+)
+
+func n5Grid(cfg Config) []campaign.Point {
+	var pts []campaign.Point
+	for _, name := range g5Scenarios {
+		pts = append(pts, campaign.Pt("mobility="+name, name, "mobility", name))
+	}
+	return pts
+}
+
+func n5Campaign() campaign.Campaign {
+	const B = 700.0
+	return campaign.Campaign{
+		Points: n5Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n := n5Scale(cfg)
+			rc := graph.ConnectivityRadius(n)
+			sub := 0.8 * rc // below the connectivity threshold, as in G5
+			spec := graph.GeomSpec{N: n, Radius: sub, Torus: true}
+			name := pt.Data.(string)
+			espec := &energy.Spec{Model: energy.CC2420(), Budget: B}
+			return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+				ts := scratchOf(tr)
+				// A never-retiring protocol: informed radios keep relaying across
+				// every epoch, and stranded listeners keep listening — so the
+				// simulated clock runs the full deployment window and the energy
+				// account reflects what the radios actually burn.
+				proto := &baseline.FixedProb{Q: 0.05}
+				sess := radio.NewBroadcastSessionWith(ts.radio, n, 0, proto, rng.New(rng.SubSeed(tr.Seed, 1)))
+				mob := buildMobility(name, spec, sub, tr.Seed)
+				var static *graph.Digraph
+				if mob == nil {
+					static, _ = ts.graph.Geometric(spec, rng.New(tr.Seed))
+				}
+				var res *radio.Result
+				for e := 0; e < n5Epochs; e++ {
+					g := static
+					if mob != nil {
+						g = mob.Snapshot(ts.graph)
+					}
+					res = sess.Run(g, radio.Options{MaxRounds: n5EpochLen, StopWhenInformed: true, Energy: espec})
+					if res.Completed() || sess.EnergyState().AliveCount() == 0 {
+						break
+					}
+					if mob != nil {
+						mob.Advance()
+					}
+				}
+				m := sweep.Metrics{"success": 0,
+					"informedFrac": float64(res.Informed) / float64(n),
+					"rounds":       math.NaN(),
+					"firstDeath":   math.NaN(),
+					"deadFrac":     float64(res.Energy.DeadCount) / float64(n)}
+				if res.Energy.FirstDeathRound >= 0 {
+					m["firstDeath"] = float64(res.Energy.FirstDeathRound)
+				}
+				if res.Completed() {
+					m["success"] = 1
+					m["rounds"] = float64(res.InformedRound)
+				}
+				return m
+			})
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			n := n5Scale(cfg)
+			t := sweep.NewTable(
+				fmt.Sprintf("N5: mobile-epoch broadcast at 0.8·r_c under CC2420 batteries (n=%d, budget %.0f, %d epochs × %d rounds)",
+					n, B, n5Epochs, n5EpochLen),
+				"mobility", "success", "informed fraction", "rounds to complete", "first-death round", "dead fraction")
+			for _, pt := range n5Grid(cfg) {
+				out := v.Samples(pt.Key)
+				rounds := math.NaN()
+				if sweep.RateOf(out, "success") > 0 {
+					rounds = sweep.MeanOf(out, "rounds")
+				}
+				t.AddRow(pt.Data.(string), sweep.F(sweep.RateOf(out, "success")),
+					sweep.F(sweep.MeanOf(out, "informedFrac")), sweep.F(rounds),
+					fRound(meanOr(out, "firstDeath")), sweep.F(sweep.MeanOf(out, "deadFrac")))
+			}
+			t.Note = "Mobility as an energy resource: below the connectivity threshold a static network " +
+				"strands the broadcast in the source's pocket, where the uninformed majority burns " +
+				"its battery listening for a message that cannot arrive. Movement lets the informed " +
+				"set leak between pockets, completing the broadcast while charge remains; the session " +
+				"carries one battery bank across every topology snapshot."
+			return []*sweep.Table{t}
+		},
+	}
 }

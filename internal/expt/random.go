@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"repro/internal/baseline"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/graph"
 	"repro/internal/radio"
@@ -14,19 +15,19 @@ import (
 
 func init() {
 	register(Experiment{ID: "E1", Title: "Algorithm 1 on G(n,p): time, energy, ≤1 tx/node",
-		PaperRef: "Theorem 2.1", Run: runE1})
+		PaperRef: "Theorem 2.1", Campaign: e1Campaign()})
 	register(Experiment{ID: "E2", Title: "Phase-1 active-set growth",
-		PaperRef: "Lemmas 2.3–2.4", Run: runE2})
+		PaperRef: "Lemmas 2.3–2.4", Campaign: e2Campaign()})
 	register(Experiment{ID: "E3", Title: "Phase 2 informs Θ(n) nodes",
-		PaperRef: "Lemma 2.5", Run: runE3})
+		PaperRef: "Lemma 2.5", Campaign: e3Campaign()})
 	register(Experiment{ID: "E4", Title: "Phase-3 completion and per-round energy",
-		PaperRef: "Lemma 2.6, §2.4", Run: runE4})
+		PaperRef: "Lemma 2.6, §2.4", Campaign: e4Campaign()})
 	register(Experiment{ID: "E5", Title: "Diameter of G(n,p)",
-		PaperRef: "Lemma 3.1", Run: runE5})
+		PaperRef: "Lemma 3.1", Campaign: e5Campaign()})
 	register(Experiment{ID: "E12", Title: "Algorithm 1 vs Elsässer–Gasieniec",
-		PaperRef: "§1.3, §2 (vs [12])", Run: runE12})
+		PaperRef: "§1.3, §2 (vs [12])", Campaign: e12Campaign()})
 	register(Experiment{ID: "X2", Title: "Ablation: Phase 2 removed",
-		PaperRef: "Lemma 2.5 (why Phase 2 exists)", Run: runX2})
+		PaperRef: "Lemma 2.5 (why Phase 2 exists)", Campaign: x2Campaign()})
 }
 
 // e1Point is one (n, p) operating point with its regime label.
@@ -36,311 +37,428 @@ type e1Point struct {
 	regime string
 }
 
-func e1Grid(cfg Config) []e1Point {
+func e1Grid(cfg Config) []campaign.Point {
 	ns := []int{1 << 10, 1 << 11, 1 << 12}
 	if cfg.Full {
 		ns = []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14}
 	}
-	var pts []e1Point
+	var pts []campaign.Point
 	for _, n := range ns {
-		pts = append(pts,
-			e1Point{n, sparseP(n), "sparse"},
-			e1Point{n, denseP(n), "dense"})
+		for _, pt := range []e1Point{
+			{n, sparseP(n), "sparse"},
+			{n, denseP(n), "dense"},
+		} {
+			pts = append(pts, campaign.Pt(
+				fmt.Sprintf("n=%d/regime=%s", pt.n, pt.regime), pt,
+				"n", fmt.Sprint(pt.n), "p", sweep.F(pt.p), "regime", pt.regime))
+		}
 	}
 	return pts
 }
 
-func runE1(cfg Config) []*sweep.Table {
-	t := sweep.NewTable("E1: Algorithm 1 on G(n,p) (Theorem 2.1)",
-		"n", "p", "regime", "success", "rounds", "rounds/log2 n",
-		"total tx", "tx·p/ln n", "max tx/node")
-	for _, pt := range e1Grid(cfg) {
-		pt := pt
-		out := runBroadcastTrials(cfg, broadcastTrial{
-			makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
-				return sc.GNPDirected(pt.n, pt.p, rng.New(seed)), 0
-			},
-			makeProto: func() radio.Broadcaster { return core.NewAlgorithm1(pt.p) },
-			opts:      radio.Options{MaxRounds: 10000},
-		})
-		rounds := sweep.MeanOf(out, mRounds)
-		totalTx := sweep.MeanOf(out, mTotalTx)
-		t.AddRow(sweep.FInt(pt.n), sweep.F(pt.p), pt.regime,
-			sweep.F(sweep.RateOf(out, mSuccess)),
-			sweep.F(rounds),
-			sweep.F(rounds/log2(float64(pt.n))),
-			sweep.F(totalTx),
-			sweep.F(totalTx*pt.p/math.Log(float64(pt.n))),
-			sweep.F(sweep.MeanOf(out, mMaxNodeTx)))
+func e1Campaign() campaign.Campaign {
+	return campaign.Campaign{
+		Points: e1Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			p0 := pt.Data.(e1Point)
+			return runBroadcastTrials(cfg, seed, broadcastTrial{
+				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
+					return sc.GNPDirected(p0.n, p0.p, rng.New(seed)), 0
+				},
+				makeProto: func() radio.Broadcaster { return core.NewAlgorithm1(p0.p) },
+				opts:      radio.Options{MaxRounds: 10000},
+			})
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			t := sweep.NewTable("E1: Algorithm 1 on G(n,p) (Theorem 2.1)",
+				"n", "p", "regime", "success", "rounds", "rounds/log2 n",
+				"total tx", "tx·p/ln n", "max tx/node")
+			for _, pt := range e1Grid(cfg) {
+				p0 := pt.Data.(e1Point)
+				out := v.Samples(pt.Key)
+				rounds := sweep.MeanOf(out, mRounds)
+				totalTx := sweep.MeanOf(out, mTotalTx)
+				t.AddRow(sweep.FInt(p0.n), sweep.F(p0.p), p0.regime,
+					sweep.F(sweep.RateOf(out, mSuccess)),
+					sweep.F(rounds),
+					sweep.F(rounds/log2(float64(p0.n))),
+					sweep.F(totalTx),
+					sweep.F(totalTx*p0.p/math.Log(float64(p0.n))),
+					sweep.F(sweep.MeanOf(out, mMaxNodeTx)))
+			}
+			t.Note = "Claims validated: success ≈ 1; rounds/log₂ n near-constant (O(log n) time); " +
+				"tx·p/ln n near-constant (total energy O(log n / p)); max tx/node ≤ 1 always."
+			return []*sweep.Table{t}
+		},
 	}
-	t.Note = "Claims validated: success ≈ 1; rounds/log₂ n near-constant (O(log n) time); " +
-		"tx·p/ln n near-constant (total energy O(log n / p)); max tx/node ≤ 1 always."
-	return []*sweep.Table{t}
 }
 
-func runE2(cfg Config) []*sweep.Table {
-	// Fix moderate d so Phase 1 spans several rounds (T = ⌊log n/log d⌋ ≥ 3)
-	// and watch |U_t| grow by ≈ d per round.
-	n := 1 << 14
-	d := 16.0
+// e2Scale returns the (n, d) operating point: moderate d so Phase 1 spans
+// several rounds (T = ⌊log n/log d⌋ ≥ 3) while |U_t| grows by ≈ d per round.
+func e2Scale(cfg Config) (n int, d float64) {
+	n, d = 1<<14, 16.0
 	if cfg.Full {
 		n = 1 << 16
 	}
-	p := d / float64(n)
-	trials := cfg.trials()
-	out := sweep.RunTrialsScratch(trials, cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
-		ts := scratchOf(tr)
-		g := ts.graph.GNPDirected(n, p, rng.New(tr.Seed))
-		a := core.NewAlgorithm1(p)
-		res := radio.RunBroadcastWith(ts.radio, g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
-			radio.Options{MaxRounds: 10000, RecordHistory: true})
-		m := sweep.Metrics{}
-		for r := 1; r <= a.T(); r++ {
-			if r < len(res.History) {
-				m[fmt.Sprintf("U%d", r+1)] = float64(res.History[r].NewlyInformed)
-			}
-		}
-		m["T"] = float64(a.T())
-		return m
-	})
-	T := int(sweep.MeanOf(out, "T"))
-	t := sweep.NewTable(
-		fmt.Sprintf("E2: Phase-1 growth on G(n=%d, d=%.0f), T=%d (Lemmas 2.3–2.4)", n, d, T),
-		"round t", "mean |U_{t+1}|", "growth |U_{t+1}|/|U_t|", "d", "ratio/d")
-	prev := 1.0
-	for r := 1; r <= T; r++ {
-		key := fmt.Sprintf("U%d", r+1)
-		if _, ok := out[key]; !ok {
-			break
-		}
-		u := sweep.MeanOf(out, key)
-		growth := u / prev
-		t.AddRow(sweep.FInt(r), sweep.F(u), sweep.F(growth), sweep.F(d), sweep.F(growth/d))
-		prev = u
-	}
-	t.Note = "Lemma 2.3: while |U_t| < 1/p the active set multiplies by Θ(d) per round " +
-		"(ratio/d between 1/16 and 2); Lemma 2.4: |U_{T+1}| = Θ(d^T). Late rounds dip " +
-		"below d as |U_t| approaches 1/p and collisions bite — exactly the regime where " +
-		"the paper switches to Phase 2."
-	return []*sweep.Table{t}
+	return n, d
 }
 
-func runE3(cfg Config) []*sweep.Table {
-	ns := []int{1 << 10, 1 << 12}
-	if cfg.Full {
-		ns = []int{1 << 10, 1 << 12, 1 << 14}
-	}
-	t := sweep.NewTable("E3: Phase 2 informs Θ(n) nodes (Lemma 2.5)",
-		"n", "p", "phase-2 newly informed", "fraction of n", "active pool entering Phase 3")
-	for _, n := range ns {
-		n := n
-		p := sparseP(n)
-		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
-			ts := scratchOf(tr)
-			g := ts.graph.GNPDirected(n, p, rng.New(tr.Seed))
-			a := core.NewAlgorithm1(p)
-			res := radio.RunBroadcastWith(ts.radio, g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
-				radio.Options{MaxRounds: 10000, RecordHistory: true})
-			m := sweep.Metrics{"p2new": math.NaN()}
-			if pr := a.Phase2Round(); pr >= 0 && pr < len(res.History) {
-				m["p2new"] = float64(res.History[pr].NewlyInformed)
-			}
-			return m
-		})
-		p2new := sweep.MeanOf(out, "p2new")
-		t.AddRow(sweep.FInt(n), sweep.F(p), sweep.F(p2new),
-			sweep.F(p2new/float64(n)), sweep.F(p2new))
-	}
-	t.Note = "In the sparse regime (p ≤ n^{-2/5}) the single Phase-2 round converts the Θ(d^T) " +
-		"Phase-1 actives into a Θ(n) active pool — the fraction column stays bounded away " +
-		"from 0 as n grows (Lemma 2.5's c·n)."
-	return []*sweep.Table{t}
-}
-
-func runE4(cfg Config) []*sweep.Table {
-	ns := []int{1 << 10, 1 << 12}
-	if cfg.Full {
-		ns = []int{1 << 10, 1 << 12, 1 << 14}
-	}
-	t := sweep.NewTable("E4: Phase-3 completion and energy rate (Lemma 2.6)",
-		"n", "p", "success", "phase-3 rounds to finish", "(rounds to finish)/log2 n",
-		"phase-3 tx/round", "tx/round · p")
-	for _, n := range ns {
-		n := n
-		p := sparseP(n)
-		out := sweep.RunTrialsScratch(cfg.trials(), cfg.Seed, cfg.Workers, newTrialScratch, func(tr sweep.Trial) sweep.Metrics {
-			ts := scratchOf(tr)
-			g := ts.graph.GNPDirected(n, p, rng.New(tr.Seed))
-			a := core.NewAlgorithm1(p)
-			res := radio.RunBroadcastWith(ts.radio, g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
-				radio.Options{MaxRounds: 10000, RecordHistory: true})
-			m := sweep.Metrics{"success": 0, "p3rounds": math.NaN(), "p3txrate": math.NaN()}
-			from, _ := a.Phase3Rounds()
-			if res.Completed() && res.InformedRound >= from {
-				m["success"] = 1
-				m["p3rounds"] = float64(res.InformedRound - from + 1)
-			}
-			// Mean transmitters per Phase-3 round until completion.
-			txs, rounds := 0.0, 0.0
-			for _, h := range res.History {
-				if h.Round >= from && (res.InformedRound < 0 || h.Round <= res.InformedRound) {
-					txs += float64(h.Transmitters)
-					rounds++
+func e2Campaign() campaign.Campaign {
+	return campaign.Campaign{
+		Points: func(cfg Config) []campaign.Point {
+			n, d := e2Scale(cfg)
+			return []campaign.Point{campaign.Pt("growth", nil,
+				"n", fmt.Sprint(n), "d", sweep.F(d))}
+		},
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n, d := e2Scale(cfg)
+			p := d / float64(n)
+			return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+				ts := scratchOf(tr)
+				g := ts.graph.GNPDirected(n, p, rng.New(tr.Seed))
+				a := core.NewAlgorithm1(p)
+				res := radio.RunBroadcastWith(ts.radio, g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
+					radio.Options{MaxRounds: 10000, RecordHistory: true})
+				m := sweep.Metrics{}
+				for r := 1; r <= a.T(); r++ {
+					if r < len(res.History) {
+						m[fmt.Sprintf("U%d", r+1)] = float64(res.History[r].NewlyInformed)
+					}
 				}
+				m["T"] = float64(a.T())
+				return m
+			})
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			n, d := e2Scale(cfg)
+			out := v.Samples("growth")
+			T := int(sweep.MeanOf(out, "T"))
+			t := sweep.NewTable(
+				fmt.Sprintf("E2: Phase-1 growth on G(n=%d, d=%.0f), T=%d (Lemmas 2.3–2.4)", n, d, T),
+				"round t", "mean |U_{t+1}|", "growth |U_{t+1}|/|U_t|", "d", "ratio/d")
+			prev := 1.0
+			for r := 1; r <= T; r++ {
+				key := fmt.Sprintf("U%d", r+1)
+				if _, ok := out[key]; !ok {
+					break
+				}
+				u := sweep.MeanOf(out, key)
+				growth := u / prev
+				t.AddRow(sweep.FInt(r), sweep.F(u), sweep.F(growth), sweep.F(d), sweep.F(growth/d))
+				prev = u
 			}
-			if rounds > 0 {
-				m["p3txrate"] = txs / rounds
-			}
-			return m
-		})
-		p3r := sweep.MeanOf(out, "p3rounds")
-		rate := sweep.MeanOf(out, "p3txrate")
-		t.AddRow(sweep.FInt(n), sweep.F(p), sweep.F(sweep.RateOf(out, "success")),
-			sweep.F(p3r), sweep.F(p3r/log2(float64(n))),
-			sweep.F(rate), sweep.F(rate*p))
+			t.Note = "Lemma 2.3: while |U_t| < 1/p the active set multiplies by Θ(d) per round " +
+				"(ratio/d between 1/16 and 2); Lemma 2.4: |U_{T+1}| = Θ(d^T). Late rounds dip " +
+				"below d as |U_t| approaches 1/p and collisions bite — exactly the regime where " +
+				"the paper switches to Phase 2."
+			return []*sweep.Table{t}
+		},
 	}
-	t.Note = "Lemma 2.6: Phase 3 finishes within O(log n) rounds (column 5 near-constant); " +
-		"§2.4: the expected number of transmissions per Phase-3 round is O(1/p) " +
-		"(column 7 near-constant)."
-	return []*sweep.Table{t}
 }
 
-func runE5(cfg Config) []*sweep.Table {
-	type pt struct {
-		n int
-		d float64
-	}
-	pts := []pt{{512, 16}, {1024, 16}, {2048, 32}}
+func e3Sizes(cfg Config) []int {
 	if cfg.Full {
-		pts = append(pts, pt{4096, 32}, pt{8192, 64})
+		return []int{1 << 10, 1 << 12, 1 << 14}
 	}
-	t := sweep.NewTable("E5: diameter of G(n,p) (Lemma 3.1)",
-		"n", "d=np", "predicted ⌈log n/log d⌉", "measured diameter (mean)",
-		"exact match rate", "within +1 rate")
-	for _, p0 := range pts {
-		p0 := p0
-		p := p0.d / float64(p0.n)
-		predicted := int(math.Ceil(math.Log(float64(p0.n)) / math.Log(p0.d)))
-		out := sweep.RunTrials(cfg.trials(), cfg.Seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
-			g := graph.GNPDirected(p0.n, p, rng.New(tr.Seed))
-			// Exact diameter is O(n·m); sample sources for speed at scale.
-			var diam int
-			if p0.n <= 1024 {
-				diam, _ = graph.Diameter(g)
-			} else {
-				diam = graph.DiameterSampled(g, 128, rng.New(rng.SubSeed(tr.Seed, 2)))
-			}
-			match, within1 := 0.0, 0.0
-			if diam == predicted {
-				match = 1
-			}
-			if diam >= predicted-1 && diam <= predicted+1 {
-				within1 = 1
-			}
-			return sweep.Metrics{"diam": float64(diam), "match": match, "within1": within1}
-		})
-		t.AddRow(sweep.FInt(p0.n), sweep.F(p0.d), sweep.FInt(predicted),
-			sweep.F(sweep.MeanOf(out, "diam")),
-			sweep.F(sweep.RateOf(out, "match")),
-			sweep.F(sweep.RateOf(out, "within1")))
-	}
-	t.Note = "Lemma 3.1 is asymptotic: D = (1+o(1))·log n/log d w.h.p. At simulation scale the " +
-		"o(1) term shows up as an occasional extra hop, so the honest check is the within-+1 " +
-		"column (≈ 1 everywhere). Sampled diameters (n > 1024) are lower bounds."
-	return []*sweep.Table{t}
+	return []int{1 << 10, 1 << 12}
 }
 
-func runE12(cfg Config) []*sweep.Table {
+func e3Campaign() campaign.Campaign {
+	points := func(cfg Config) []campaign.Point {
+		var pts []campaign.Point
+		for _, n := range e3Sizes(cfg) {
+			pts = append(pts, campaign.Pt(fmt.Sprintf("n=%d", n), n, "n", fmt.Sprint(n)))
+		}
+		return pts
+	}
+	return campaign.Campaign{
+		Points: points,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n := pt.Data.(int)
+			p := sparseP(n)
+			return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+				ts := scratchOf(tr)
+				g := ts.graph.GNPDirected(n, p, rng.New(tr.Seed))
+				a := core.NewAlgorithm1(p)
+				res := radio.RunBroadcastWith(ts.radio, g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
+					radio.Options{MaxRounds: 10000, RecordHistory: true})
+				m := sweep.Metrics{"p2new": math.NaN()}
+				if pr := a.Phase2Round(); pr >= 0 && pr < len(res.History) {
+					m["p2new"] = float64(res.History[pr].NewlyInformed)
+				}
+				return m
+			})
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			t := sweep.NewTable("E3: Phase 2 informs Θ(n) nodes (Lemma 2.5)",
+				"n", "p", "phase-2 newly informed", "fraction of n", "active pool entering Phase 3")
+			for _, pt := range points(cfg) {
+				n := pt.Data.(int)
+				out := v.Samples(pt.Key)
+				p2new := sweep.MeanOf(out, "p2new")
+				t.AddRow(sweep.FInt(n), sweep.F(sparseP(n)), sweep.F(p2new),
+					sweep.F(p2new/float64(n)), sweep.F(p2new))
+			}
+			t.Note = "In the sparse regime (p ≤ n^{-2/5}) the single Phase-2 round converts the Θ(d^T) " +
+				"Phase-1 actives into a Θ(n) active pool — the fraction column stays bounded away " +
+				"from 0 as n grows (Lemma 2.5's c·n)."
+			return []*sweep.Table{t}
+		},
+	}
+}
+
+func e4Campaign() campaign.Campaign {
+	points := func(cfg Config) []campaign.Point {
+		var pts []campaign.Point
+		for _, n := range e3Sizes(cfg) {
+			pts = append(pts, campaign.Pt(fmt.Sprintf("n=%d", n), n, "n", fmt.Sprint(n)))
+		}
+		return pts
+	}
+	return campaign.Campaign{
+		Points: points,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			n := pt.Data.(int)
+			p := sparseP(n)
+			return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+				ts := scratchOf(tr)
+				g := ts.graph.GNPDirected(n, p, rng.New(tr.Seed))
+				a := core.NewAlgorithm1(p)
+				res := radio.RunBroadcastWith(ts.radio, g, 0, a, rng.New(rng.SubSeed(tr.Seed, 1)),
+					radio.Options{MaxRounds: 10000, RecordHistory: true})
+				m := sweep.Metrics{"success": 0, "p3rounds": math.NaN(), "p3txrate": math.NaN()}
+				from, _ := a.Phase3Rounds()
+				if res.Completed() && res.InformedRound >= from {
+					m["success"] = 1
+					m["p3rounds"] = float64(res.InformedRound - from + 1)
+				}
+				// Mean transmitters per Phase-3 round until completion.
+				txs, rounds := 0.0, 0.0
+				for _, h := range res.History {
+					if h.Round >= from && (res.InformedRound < 0 || h.Round <= res.InformedRound) {
+						txs += float64(h.Transmitters)
+						rounds++
+					}
+				}
+				if rounds > 0 {
+					m["p3txrate"] = txs / rounds
+				}
+				return m
+			})
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			t := sweep.NewTable("E4: Phase-3 completion and energy rate (Lemma 2.6)",
+				"n", "p", "success", "phase-3 rounds to finish", "(rounds to finish)/log2 n",
+				"phase-3 tx/round", "tx/round · p")
+			for _, pt := range points(cfg) {
+				n := pt.Data.(int)
+				p := sparseP(n)
+				out := v.Samples(pt.Key)
+				p3r := sweep.MeanOf(out, "p3rounds")
+				rate := sweep.MeanOf(out, "p3txrate")
+				t.AddRow(sweep.FInt(n), sweep.F(p), sweep.F(sweep.RateOf(out, "success")),
+					sweep.F(p3r), sweep.F(p3r/log2(float64(n))),
+					sweep.F(rate), sweep.F(rate*p))
+			}
+			t.Note = "Lemma 2.6: Phase 3 finishes within O(log n) rounds (column 5 near-constant); " +
+				"§2.4: the expected number of transmissions per Phase-3 round is O(1/p) " +
+				"(column 7 near-constant)."
+			return []*sweep.Table{t}
+		},
+	}
+}
+
+// e5Point is one (n, d=np) diameter instance.
+type e5Point struct {
+	n int
+	d float64
+}
+
+func e5Grid(cfg Config) []campaign.Point {
+	pts := []e5Point{{512, 16}, {1024, 16}, {2048, 32}}
+	if cfg.Full {
+		pts = append(pts, e5Point{4096, 32}, e5Point{8192, 64})
+	}
+	out := make([]campaign.Point, len(pts))
+	for i, p := range pts {
+		out[i] = campaign.Pt(fmt.Sprintf("n=%d/d=%s", p.n, sweep.F(p.d)), p,
+			"n", fmt.Sprint(p.n), "d", sweep.F(p.d))
+	}
+	return out
+}
+
+func e5Campaign() campaign.Campaign {
+	return campaign.Campaign{
+		Points: e5Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			p0 := pt.Data.(e5Point)
+			p := p0.d / float64(p0.n)
+			predicted := int(math.Ceil(math.Log(float64(p0.n)) / math.Log(p0.d)))
+			return sweep.RunTrials(trials(cfg), seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
+				g := graph.GNPDirected(p0.n, p, rng.New(tr.Seed))
+				// Exact diameter is O(n·m); sample sources for speed at scale.
+				var diam int
+				if p0.n <= 1024 {
+					diam, _ = graph.Diameter(g)
+				} else {
+					diam = graph.DiameterSampled(g, 128, rng.New(rng.SubSeed(tr.Seed, 2)))
+				}
+				match, within1 := 0.0, 0.0
+				if diam == predicted {
+					match = 1
+				}
+				if diam >= predicted-1 && diam <= predicted+1 {
+					within1 = 1
+				}
+				return sweep.Metrics{"diam": float64(diam), "match": match, "within1": within1}
+			})
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			t := sweep.NewTable("E5: diameter of G(n,p) (Lemma 3.1)",
+				"n", "d=np", "predicted ⌈log n/log d⌉", "measured diameter (mean)",
+				"exact match rate", "within +1 rate")
+			for _, pt := range e5Grid(cfg) {
+				p0 := pt.Data.(e5Point)
+				predicted := int(math.Ceil(math.Log(float64(p0.n)) / math.Log(p0.d)))
+				out := v.Samples(pt.Key)
+				t.AddRow(sweep.FInt(p0.n), sweep.F(p0.d), sweep.FInt(predicted),
+					sweep.F(sweep.MeanOf(out, "diam")),
+					sweep.F(sweep.RateOf(out, "match")),
+					sweep.F(sweep.RateOf(out, "within1")))
+			}
+			t.Note = "Lemma 3.1 is asymptotic: D = (1+o(1))·log n/log d w.h.p. At simulation scale the " +
+				"o(1) term shows up as an occasional extra hop, so the honest check is the within-+1 " +
+				"column (≈ 1 everywhere). Sampled diameters (n > 1024) are lower bounds."
+			return []*sweep.Table{t}
+		},
+	}
+}
+
+// e12Protos enumerates the two compared protocols; d = 6·ln n keeps the
+// Phase-3 informing capacity safe (≈ 2·ln n active neighbours per node)
+// while the diameter stays >= 3, so EG's probability-1 flooding phase spans
+// multiple rounds.
+func e12Grid(cfg Config) []campaign.Point {
 	ns := []int{1 << 12}
 	if cfg.Full {
 		ns = []int{1 << 12, 1 << 14}
 	}
-	t := sweep.NewTable("E12: Algorithm 1 vs Elsässer–Gasieniec [12] on G(n,p)",
-		"n", "p", "protocol", "success", "rounds", "total tx", "max tx/node")
+	var pts []campaign.Point
 	for _, n := range ns {
-		n := n
-		// d = 6·ln n keeps the Phase-3 informing capacity safe (≈ 2·ln n
-		// active neighbours per node) while the diameter stays >= 3, so
-		// EG's probability-1 flooding phase spans multiple rounds.
-		d := 6 * math.Log(float64(n))
-		p := d / float64(n)
-		for _, proto := range []struct {
-			name string
-			make func() radio.Broadcaster
-		}{
-			{"algorithm1", func() radio.Broadcaster {
+		for _, proto := range []string{"algorithm1", "elsasser-gasieniec"} {
+			pts = append(pts, campaign.Pt(fmt.Sprintf("n=%d/proto=%s", n, proto),
+				[2]any{n, proto}, "n", fmt.Sprint(n), "proto", proto))
+		}
+	}
+	return pts
+}
+
+func e12Campaign() campaign.Campaign {
+	return campaign.Campaign{
+		Points: e12Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			d := pt.Data.([2]any)
+			n, proto := d[0].(int), d[1].(string)
+			p := 6 * math.Log(float64(n)) / float64(n)
+			makeProto := func() radio.Broadcaster {
 				a := core.NewAlgorithm1(p)
 				a.Phase3Beta = 16 // match EG's generous Phase-3 budget
 				return a
-			}},
-			{"elsasser-gasieniec", func() radio.Broadcaster {
-				e := baseline.NewElsasserGasieniec(p)
-				e.Phase3Beta = 16
-				return e
-			}},
-		} {
-			proto := proto
-			out := runBroadcastTrials(cfg, broadcastTrial{
+			}
+			if proto == "elsasser-gasieniec" {
+				makeProto = func() radio.Broadcaster {
+					e := baseline.NewElsasserGasieniec(p)
+					e.Phase3Beta = 16
+					return e
+				}
+			}
+			return runBroadcastTrials(cfg, seed, broadcastTrial{
 				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
 					return sc.GNPDirected(n, p, rng.New(seed)), 0
 				},
-				makeProto: proto.make,
+				makeProto: makeProto,
 				opts:      radio.Options{MaxRounds: 10000},
 			})
-			rounds := math.NaN()
-			if sweep.RateOf(out, mSuccess) > 0 {
-				rounds = sweep.MeanOf(out, mRounds)
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			t := sweep.NewTable("E12: Algorithm 1 vs Elsässer–Gasieniec [12] on G(n,p)",
+				"n", "p", "protocol", "success", "rounds", "total tx", "max tx/node")
+			for _, pt := range e12Grid(cfg) {
+				d := pt.Data.([2]any)
+				n, proto := d[0].(int), d[1].(string)
+				p := 6 * math.Log(float64(n)) / float64(n)
+				out := v.Samples(pt.Key)
+				rounds := math.NaN()
+				if sweep.RateOf(out, mSuccess) > 0 {
+					rounds = sweep.MeanOf(out, mRounds)
+				}
+				t.AddRow(sweep.FInt(n), sweep.F(p), proto,
+					sweep.F(sweep.RateOf(out, mSuccess)), sweep.F(rounds),
+					sweep.F(sweep.MeanOf(out, mTotalTx)),
+					sweep.F(sweep.MeanOf(out, mMaxNodeTx)))
 			}
-			t.AddRow(sweep.FInt(n), sweep.F(p), proto.name,
-				sweep.F(sweep.RateOf(out, mSuccess)), sweep.F(rounds),
-				sweep.F(sweep.MeanOf(out, mTotalTx)),
-				sweep.F(sweep.MeanOf(out, mMaxNodeTx)))
-		}
+			t.Note = "Both reach all nodes in O(log n) rounds, but EG's Phase-1 flooding makes nodes " +
+				"transmit up to D−1 times (max tx/node ≥ 2, total tx higher), while Algorithm 1 " +
+				"never exceeds one transmission per node — the §1.3 comparison."
+			return []*sweep.Table{t}
+		},
 	}
-	t.Note = "Both reach all nodes in O(log n) rounds, but EG's Phase-1 flooding makes nodes " +
-		"transmit up to D−1 times (max tx/node ≥ 2, total tx higher), while Algorithm 1 " +
-		"never exceeds one transmission per node — the §1.3 comparison."
-	return []*sweep.Table{t}
 }
 
-func runX2(cfg Config) []*sweep.Table {
-	// Points chosen with T = ⌊log n/log d⌋ = 1, where the ablated Phase-3
-	// pool is only the ≈ d nodes Phase 1 informs; when d^T happens to land
-	// near n (e.g. T = 2 with d² ≈ n) Phase 1 alone reaches a constant
-	// fraction and Phase 2 is naturally less critical.
+// x2Grid: points chosen with T = ⌊log n/log d⌋ = 1, where the ablated
+// Phase-3 pool is only the ≈ d nodes Phase 1 informs; when d^T happens to
+// land near n (e.g. T = 2 with d² ≈ n) Phase 1 alone reaches a constant
+// fraction and Phase 2 is naturally less critical.
+func x2Grid(cfg Config) []campaign.Point {
 	ns := []int{1 << 10, 1 << 11}
 	if cfg.Full {
 		ns = []int{1 << 10, 1 << 11, 1 << 12}
 	}
-	t := sweep.NewTable("X2: ablation — Algorithm 1 with Phase 2 removed (sparse regime)",
-		"n", "p", "variant", "success", "informed fraction (mean)")
+	var pts []campaign.Point
 	for _, n := range ns {
-		n := n
-		p := sparseP(n)
-		for _, variant := range []struct {
-			name    string
-			disable bool
-		}{{"full algorithm", false}, {"phase 2 removed", true}} {
-			variant := variant
-			out := runBroadcastTrials(cfg, broadcastTrial{
+		for _, variant := range []string{"full algorithm", "phase 2 removed"} {
+			pts = append(pts, campaign.Pt(fmt.Sprintf("n=%d/variant=%s", n, variant),
+				[2]any{n, variant}, "n", fmt.Sprint(n), "variant", variant))
+		}
+	}
+	return pts
+}
+
+func x2Campaign() campaign.Campaign {
+	return campaign.Campaign{
+		Points: x2Grid,
+		Run: func(cfg Config, pt campaign.Point, seed uint64) campaign.Samples {
+			d := pt.Data.([2]any)
+			n, variant := d[0].(int), d[1].(string)
+			p := sparseP(n)
+			return runBroadcastTrials(cfg, seed, broadcastTrial{
 				makeGraph: func(seed uint64, sc *graph.Scratch) (*graph.Digraph, graph.NodeID) {
 					return sc.GNPDirected(n, p, rng.New(seed)), 0
 				},
 				makeProto: func() radio.Broadcaster {
 					a := core.NewAlgorithm1(p)
-					a.DisablePhase2 = variant.disable
+					a.DisablePhase2 = variant == "phase 2 removed"
 					return a
 				},
 				opts: radio.Options{MaxRounds: 10000},
 			})
-			t.AddRow(sweep.FInt(n), sweep.F(p), variant.name,
-				sweep.F(sweep.RateOf(out, mSuccess)),
-				sweep.F(sweep.MeanOf(out, mInformedF)))
-		}
+		},
+		Render: func(cfg Config, v campaign.View) []*sweep.Table {
+			t := sweep.NewTable("X2: ablation — Algorithm 1 with Phase 2 removed (sparse regime)",
+				"n", "p", "variant", "success", "informed fraction (mean)")
+			for _, pt := range x2Grid(cfg) {
+				d := pt.Data.([2]any)
+				n, variant := d[0].(int), d[1].(string)
+				out := v.Samples(pt.Key)
+				t.AddRow(sweep.FInt(n), sweep.F(sparseP(n)), variant,
+					sweep.F(sweep.RateOf(out, mSuccess)),
+					sweep.F(sweep.MeanOf(out, mInformedF)))
+			}
+			t.Note = "Without Phase 2 the Phase-3 active pool is only the Θ(d^T) ≤ 1/p nodes Phase 1 " +
+				"produced instead of Θ(n) (Lemma 2.5), so coverage collapses — the informed " +
+				"fraction stalls well below 1. (When d^T lands near n the gap closes and Phase 2 " +
+				"matters less; the theorem needs it for every p in range.)"
+			return []*sweep.Table{t}
+		},
 	}
-	t.Note = "Without Phase 2 the Phase-3 active pool is only the Θ(d^T) ≤ 1/p nodes Phase 1 " +
-		"produced instead of Θ(n) (Lemma 2.5), so coverage collapses — the informed " +
-		"fraction stalls well below 1. (When d^T lands near n the gap closes and Phase 2 " +
-		"matters less; the theorem needs it for every p in range.)"
-	return []*sweep.Table{t}
 }
