@@ -69,4 +69,23 @@
 // geometric-skip sampling in O(transmitters) instead of one RNG flip per
 // informed node — bit-identical to the scalar path under the shared-draw
 // contract (see README.md and the radio package docs).
+//
+// On top of that sits the sparse round engine. Delivery is
+// direction-optimizing across three kernels selected per round from exact
+// cost estimates: transmitter-centric push (Σ deg(tx) per round), its
+// receiver-sharded parallel variant, and a receiver-centric pull kernel
+// that iterates only the uninformed frontier's in-edges
+// (Σ deg(uninformed), the late-phase winner; its collision count covers
+// uninformed receivers only — Options.ExactCollisions pins the
+// transmitter-side count). Orthogonally, uniform-Bernoulli phases opt into
+// the cross-round stream contract (radio.UniformRound /
+// radio.UniformGossipRound over radio.TxSet's stream draws): the rounds of
+// one phase form a single Bernoulli stream whose geometric overshoot
+// carries across round boundaries, so a fully silent round consumes no
+// randomness and whole silent spans are skipped in O(1), with
+// energy.State.AdvanceIdle settling idle-listen charges and the
+// death-prediction heap across the span in bulk. Every engine
+// configuration (radio.SetEngineOverrides) is pinned bit-identical on
+// informed trajectory, per-node transmissions, rounds and energy. See
+// README.md ("The sparse round engine").
 package repro

@@ -56,7 +56,13 @@ type State struct {
 	aliveInformed  int
 	dead           int
 
-	txE, rxE, listenE, sleepE float64
+	// Aggregate per-state usage, kept as exact integer event/node-round
+	// counters (the cost products are taken at Report time). Integer
+	// accumulation is what lets AdvanceIdle settle a skipped span of rounds
+	// in one multiplication while staying bit-identical to the
+	// round-by-round engine for ANY cost table.
+	txEvents, rxEvents                int64
+	listenNodeRounds, sleepNodeRounds int64
 
 	firstDeath, halfDeath, partition int // age rounds; -1 until reached
 
@@ -131,7 +137,7 @@ func (st *State) Start(spec Spec, n int) {
 	}
 	st.round, st.base = 0, 0
 	st.aliveListening, st.aliveInformed, st.dead = n, 0, 0
-	st.txE, st.rxE, st.listenE, st.sleepE = 0, 0, 0, 0
+	st.txEvents, st.rxEvents, st.listenNodeRounds, st.sleepNodeRounds = 0, 0, 0, 0
 	st.firstDeath, st.halfDeath, st.partition = -1, -1, -1
 }
 
@@ -265,15 +271,70 @@ func (st *State) EndRound(sessionRound int, transmitters, delivered []graph.Node
 		}
 	}
 
-	st.txE += st.model.Tx * float64(len(transmitters))
-	st.rxE += st.model.Rx * float64(rx)
-	st.listenE += st.model.Listen * float64(listenersBefore-rx-(len(transmitters)-txInf))
-	st.sleepE += st.model.Sleep * float64(sleepersBefore)
+	st.txEvents += int64(len(transmitters))
+	st.rxEvents += int64(rx)
+	st.listenNodeRounds += int64(listenersBefore - rx - (len(transmitters) - txInf))
+	st.sleepNodeRounds += int64(sleepersBefore)
 
 	if st.limited {
 		newDeaths = st.sweepDeaths(age)
 	}
 	return newDeaths
+}
+
+// Limited reports whether any battery budget is finite (without budgets
+// nothing ever depletes and the death heap is absent).
+func (st *State) Limited() bool { return st.limited }
+
+// NextPassiveDeathSession returns the session round at whose end the next
+// spontaneous (passive-drain) depletion is predicted, or math.MaxInt when
+// none is. Predictions can be conservative (early) when a node's drain rate
+// dropped since they were made; they are never later than the detection
+// round the round-by-round engine would use, because both run on the same
+// heap. The engine uses this to bound silent-round skips.
+func (st *State) NextPassiveDeathSession() int {
+	if !st.limited {
+		return math.MaxInt
+	}
+	k := st.key[st.heap[0]]
+	if k >= neverRound {
+		return math.MaxInt
+	}
+	return int(k) - st.base
+}
+
+// AdvanceIdle settles a span of idle session rounds [fromSession,
+// toSession] in which no node transmitted or received anything: every alive
+// node pays its passive rate (Listen while uninformed, Sleep once informed)
+// for each round of the span, and spontaneous depletions are detected at
+// the end of their exact round, identically to calling EndRound once per
+// round with empty event lists. The aggregate node-round counters advance
+// in O(1) per death-free stretch; deaths segment the span. Returns the
+// total deaths in the span.
+func (st *State) AdvanceIdle(fromSession, toSession int) (deaths int) {
+	cur := st.base + fromSession - 1 // settled through this age round
+	end := st.base + toSession
+	for cur < end {
+		next := end
+		if st.limited {
+			if k := st.key[st.heap[0]]; k < int64(next) {
+				if k <= int64(cur) {
+					next = cur + 1 // stale-low prediction: resolve it round by round
+				} else {
+					next = int(k)
+				}
+			}
+		}
+		span := int64(next - cur)
+		st.listenNodeRounds += int64(st.aliveListening) * span
+		st.sleepNodeRounds += int64(st.aliveInformed) * span
+		cur = next
+		st.round = cur
+		if st.limited {
+			deaths += st.sweepDeaths(cur)
+		}
+	}
+	return deaths
 }
 
 // CheckPartition tests whether the alive nodes still form one mutually
@@ -319,10 +380,10 @@ func (st *State) CheckPartition(g *graph.Digraph, sessionRound int) {
 func (st *State) Report() *Report {
 	rep := &Report{
 		Model:           st.model,
-		TxEnergy:        st.txE,
-		RxEnergy:        st.rxE,
-		ListenEnergy:    st.listenE,
-		SleepEnergy:     st.sleepE,
+		TxEnergy:        st.model.Tx * float64(st.txEvents),
+		RxEnergy:        st.model.Rx * float64(st.rxEvents),
+		ListenEnergy:    st.model.Listen * float64(st.listenNodeRounds),
+		SleepEnergy:     st.model.Sleep * float64(st.sleepNodeRounds),
 		DeadCount:       st.dead,
 		FirstDeathRound: st.firstDeath,
 		HalfDeathRound:  st.halfDeath,

@@ -42,26 +42,37 @@ func renderExperiments(t *testing.T, ids []string) map[string]string {
 }
 
 func TestExperimentTablesInvariantUnderEngineConfiguration(t *testing.T) {
-	defer radio.SetEngineOverrides(false, false)
+	defer radio.SetEngineOverrides(radio.EngineOverrides{})
 
-	radio.SetEngineOverrides(false, false)
+	radio.SetEngineOverrides(radio.EngineOverrides{})
 	base := renderExperiments(t, equivalenceIDs)
 
-	radio.SetEngineOverrides(true, false) // force scalar decisions
-	scalar := renderExperiments(t, equivalenceIDs)
-
-	radio.SetEngineOverrides(false, true) // force the parallel delivery kernel
-	parallel := renderExperiments(t, equivalenceIDs)
-
-	radio.SetEngineOverrides(false, false)
-	for _, id := range equivalenceIDs {
-		if base[id] != scalar[id] {
-			t.Errorf("%s: tables differ between batch and scalar decision paths", id)
-		}
-		if base[id] != parallel[id] {
-			t.Errorf("%s: tables differ between serial and parallel delivery kernels", id)
+	// Every decision-path, delivery-kernel and skip forcing must reproduce
+	// the default tables byte for byte (no experiment in the battery renders
+	// collision counts, so even the pull kernel's uninformed-side counting
+	// is invisible here).
+	forcings := []struct {
+		name string
+		o    radio.EngineOverrides
+	}{
+		{"scalar decisions", radio.EngineOverrides{ScalarDecisions: true}},
+		{"push kernel", radio.EngineOverrides{Kernel: radio.KernelPush}},
+		{"pull kernel", radio.EngineOverrides{Kernel: radio.KernelPull}},
+		{"parallel kernel", radio.EngineOverrides{Kernel: radio.KernelParallel}},
+		{"skip disabled", radio.EngineOverrides{DisableSkip: true}},
+		{"scalar+pull+noskip", radio.EngineOverrides{
+			ScalarDecisions: true, Kernel: radio.KernelPull, DisableSkip: true}},
+	}
+	for _, f := range forcings {
+		radio.SetEngineOverrides(f.o)
+		alt := renderExperiments(t, equivalenceIDs)
+		for _, id := range equivalenceIDs {
+			if base[id] != alt[id] {
+				t.Errorf("%s: tables differ under forcing %q", id, f.name)
+			}
 		}
 	}
+	radio.SetEngineOverrides(radio.EngineOverrides{})
 }
 
 // TestSweepScratchDeterminism pins the other half of the trial-loop

@@ -1,15 +1,24 @@
 package expt
 
-// The refactor-equivalence pin: the campaign-engine rewrite of the
-// experiment layer must emit byte-identical markdown tables to the
-// pre-refactor imperative loops. The files under testdata/prerefactor were
-// generated from the last imperative-loop revision at reduced scale with
-// seed 777 (the same operating point as the engine-invariance test) and
-// must NOT be regenerated from current code when experiments change
-// intentionally — instead, regenerate them (UPDATE_EXPT_GOLDEN=1 go test
-// -run TestCampaignMatchesPreRefactorGolden ./internal/expt) in the same
-// change that alters an experiment's definition, so the diff shows exactly
-// which cells moved.
+// The refactor-equivalence pin: the experiment tables must stay
+// byte-identical across engine refactors. The files under
+// testdata/prerefactor were originally generated from the last
+// imperative-loop revision (pre-campaign-engine) at reduced scale with seed
+// 777 (the same operating point as the engine-invariance test) and must NOT
+// be regenerated from current code when experiments change intentionally —
+// instead, regenerate them (UPDATE_EXPT_GOLDEN=1 go test -run
+// TestCampaignMatchesPreRefactorGolden ./internal/expt) in the same change
+// that alters an experiment's definition, so the diff shows exactly which
+// cells moved.
+//
+// Re-baselined once with the sparse-round-engine PR: the cross-round
+// stream-draw contract (radio.TxSet.DrawListStream) carries each round's
+// geometric overshoot into the next round instead of redrawing it, which
+// changes the RNG consumption — and hence the sampled trajectories — of
+// every uniform-Bernoulli protocol (Algorithm 1 Phase 3, Algorithm 2,
+// FixedProb, Elsässer–Gasieniec, UniformGossip). Distributions are
+// unchanged; the engine-invariance tests pin that every engine
+// configuration still reproduces these exact tables.
 
 import (
 	"os"

@@ -73,9 +73,9 @@ func TestBatchDecisionPathMatchesScalar(t *testing.T) {
 	run := func() *Result { return RunBroadcast(g, 0, &pulse{q: 0.2}, rng.New(99), opt) }
 
 	batch := run()
-	SetEngineOverrides(true, false)
+	SetEngineOverrides(EngineOverrides{ScalarDecisions: true})
 	scalar := run()
-	SetEngineOverrides(false, false)
+	SetEngineOverrides(EngineOverrides{})
 	if !resultsEqual(batch, scalar) {
 		t.Fatalf("batch and scalar decision paths diverge:\nbatch  %+v\nscalar %+v", batch, scalar)
 	}
@@ -181,9 +181,9 @@ func TestGossipBatchPathMatchesScalar(t *testing.T) {
 	run := func() *GossipResult { return RunGossip(g, &pulseGossip{q: 0.1}, rng.New(7), opt) }
 
 	batch := run()
-	SetEngineOverrides(true, false)
+	SetEngineOverrides(EngineOverrides{ScalarDecisions: true})
 	scalar := run()
-	SetEngineOverrides(false, false)
+	SetEngineOverrides(EngineOverrides{})
 	if batch.Rounds != scalar.Rounds || batch.CompleteRound != scalar.CompleteRound ||
 		batch.TotalTx != scalar.TotalTx || batch.KnownPairs != scalar.KnownPairs ||
 		batch.MaxNodeTx != scalar.MaxNodeTx {

@@ -17,6 +17,9 @@ func (b Bitset) Get(i graph.NodeID) bool { return b[uint32(i)>>6]&(1<<(uint32(i)
 // Set adds id i to the set.
 func (b Bitset) Set(i graph.NodeID) { b[uint32(i)>>6] |= 1 << (uint32(i) & 63) }
 
+// Clear removes id i from the set.
+func (b Bitset) Clear(i graph.NodeID) { b[uint32(i)>>6] &^= 1 << (uint32(i) & 63) }
+
 // Reset removes every id.
 func (b Bitset) Reset() {
 	for i := range b {

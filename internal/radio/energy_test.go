@@ -142,7 +142,7 @@ func TestEngineEnergyMatchesNaiveReplay(t *testing.T) {
 // delivery kernel (serial/parallel) the engine uses, on both G(n,p) and UDG
 // topologies.
 func TestEnergyEquivalenceAcrossEngineConfigurations(t *testing.T) {
-	defer SetEngineOverrides(false, false)
+	defer SetEngineOverrides(EngineOverrides{})
 
 	n := 256
 	tops := []struct {
@@ -158,14 +158,14 @@ func TestEnergyEquivalenceAcrossEngineConfigurations(t *testing.T) {
 			Options{MaxRounds: 500, Energy: spec})
 	}
 	for _, tp := range tops {
-		SetEngineOverrides(false, false)
+		SetEngineOverrides(EngineOverrides{})
 		base := run(tp.g)
 		if base.Energy.DeadCount == 0 {
 			t.Fatalf("%s: no deaths; the equivalence test is not exercising depletion", tp.name)
 		}
-		SetEngineOverrides(true, false)
+		SetEngineOverrides(EngineOverrides{ScalarDecisions: true})
 		scalar := run(tp.g)
-		SetEngineOverrides(false, true)
+		SetEngineOverrides(EngineOverrides{Kernel: KernelParallel})
 		parallel := run(tp.g)
 		for _, alt := range []*Result{scalar, parallel} {
 			if alt.Rounds != base.Rounds || alt.Informed != base.Informed || alt.TotalTx != base.TotalTx {

@@ -182,16 +182,38 @@ func (s *GossipSession) Run(g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt
 
 	p.Begin(n, protoRNG)
 	batch, _ := p.(BatchGossiper)
-	if engineOverrides.scalarDecisions {
+	if engineOverrides.ScalarDecisions {
 		batch = nil
 	}
+	// Cross-round skipping: a silent gossip round changes nothing but the
+	// clock, so protocols exposing the uniform stream contract fast-forward
+	// across silent spans (disabled when per-round history is recorded).
+	skipper, _ := p.(UniformGossipRound)
+	canSkip := skipper != nil && !engineOverrides.DisableSkip && !opt.RecordHistory
 	totalTarget := int64(n) * int64(n)
 	transmitters := make([]graph.NodeID, 0, n)
 	touched := make([]graph.NodeID, 0, n)
 
-	for seg := 1; seg <= opt.MaxRounds; seg++ {
-		s.rounds++
-		round := s.rounds
+	start := s.rounds
+	segEnd := start + opt.MaxRounds
+	for s.rounds < segEnd {
+		round := s.rounds + 1
+		// RoundProb gates the skip attempt: only uniform Bernoulli rounds
+		// are candidates for cross-round fast-forwarding.
+		if _, uniform := uniformGossipProb(skipper, canSkip, round); uniform {
+			if next := skipper.SkipSilent(round, segEnd); next > round {
+				if next > segEnd+1 {
+					next = segEnd + 1
+				}
+				s.rounds = next - 1
+				res.Rounds = s.rounds - start
+				if s.rounds >= segEnd {
+					break
+				}
+				round = next
+			}
+		}
+		s.rounds = round
 		p.BeginRound(round)
 		transmitters = transmitters[:0]
 		if batch != nil {
@@ -211,54 +233,104 @@ func (s *GossipSession) Run(g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt
 		}
 		res.TotalTx += int64(len(transmitters))
 
-		touched = touched[:0]
-		for _, u := range transmitters {
-			for _, w := range g.Out(u) {
-				if s.hits[w] == 0 {
-					touched = append(touched, w)
+		// Delivery. Direction-optimizing under half-duplex: when most nodes
+		// transmit (dense gossip rounds), iterating the NON-transmitters'
+		// in-edges against the transmitter marks costs M - Σ indeg(tx) + n
+		// instead of the sender-centric Σ outdeg(tx). Under full duplex
+		// transmitters can receive too (and need start-of-round snapshots),
+		// so delivery stays sender-centric there.
+		usePull := false
+		if !opt.FullDuplex && len(transmitters) > 0 {
+			switch engineOverrides.Kernel {
+			case KernelPull:
+				usePull = true
+			case KernelPush, KernelParallel:
+				// forced sender-centric
+			default:
+				var inTx, outTx int64
+				for _, u := range transmitters {
+					inTx += int64(g.InDegree(u))
+					outTx += int64(g.OutDegree(u))
 				}
-				s.hits[w]++
-				s.lastFrom[w] = u
+				usePull = int64(g.M())-inTx+int64(n) < outTx
 			}
 		}
-
-		// Under full duplex a transmitter can also receive, so its rumor set
-		// may be extended during this round's merge loop. Snapshot the sets
-		// of all such sender-receivers before merging, so that receivers of
-		// their transmissions see the start-of-round set. Under half-duplex
-		// no transmitter receives, so no snapshots are needed.
-		var snapshots map[graph.NodeID]rumorSet
-		if opt.FullDuplex {
-			for _, w := range touched {
-				if s.hits[w] == 1 && s.isTx[w] {
-					if snapshots == nil {
-						snapshots = make(map[graph.NodeID]rumorSet)
+		if usePull {
+			// Receiver-centric: each non-transmitter counts its transmitting
+			// in-neighbours (early exit at two); exactly one means reception.
+			// Senders' sets never change mid-round under half-duplex, so the
+			// merge order across receivers is immaterial and the result is
+			// identical to the sender-centric pass.
+			for v := 0; v < n; v++ {
+				if s.isTx[v] {
+					continue // half-duplex: a transmitting node hears nothing
+				}
+				hits := 0
+				var from graph.NodeID
+				for _, u := range g.In(graph.NodeID(v)) {
+					if s.isTx[u] {
+						hits++
+						if hits == 2 {
+							break
+						}
+						from = u
 					}
-					snapshots[w] = s.know[w].clone()
+				}
+				if hits == 1 {
+					s.knownPairs += int64(s.know[v].union(s.know[from]))
 				}
 			}
-		}
+		} else {
+			touched = touched[:0]
+			for _, u := range transmitters {
+				for _, w := range g.Out(u) {
+					if s.hits[w] == 0 {
+						touched = append(touched, w)
+					}
+					s.hits[w]++
+					s.lastFrom[w] = u
+				}
+			}
 
-		for _, w := range touched {
-			h := s.hits[w]
-			s.hits[w] = 0
-			if h != 1 {
-				continue
+			// Under full duplex a transmitter can also receive, so its rumor
+			// set may be extended during this round's merge loop. Snapshot
+			// the sets of all such sender-receivers before merging, so that
+			// receivers of their transmissions see the start-of-round set.
+			// Under half-duplex no transmitter receives, so no snapshots are
+			// needed.
+			var snapshots map[graph.NodeID]rumorSet
+			if opt.FullDuplex {
+				for _, w := range touched {
+					if s.hits[w] == 1 && s.isTx[w] {
+						if snapshots == nil {
+							snapshots = make(map[graph.NodeID]rumorSet)
+						}
+						snapshots[w] = s.know[w].clone()
+					}
+				}
 			}
-			if !opt.FullDuplex && s.isTx[w] {
-				continue // half-duplex: a transmitting node hears nothing
+
+			for _, w := range touched {
+				h := s.hits[w]
+				s.hits[w] = 0
+				if h != 1 {
+					continue
+				}
+				if !opt.FullDuplex && s.isTx[w] {
+					continue // half-duplex: a transmitting node hears nothing
+				}
+				u := s.lastFrom[w]
+				src := s.know[u]
+				if snap, ok := snapshots[u]; ok {
+					src = snap
+				}
+				s.knownPairs += int64(s.know[w].union(src))
 			}
-			u := s.lastFrom[w]
-			src := s.know[u]
-			if snap, ok := snapshots[u]; ok {
-				src = snap
-			}
-			s.knownPairs += int64(s.know[w].union(src))
 		}
 		for _, u := range transmitters {
 			s.isTx[u] = false
 		}
-		res.Rounds = seg
+		res.Rounds = round - start
 		res.KnownPairs = s.knownPairs
 		if opt.RecordHistory {
 			res.History = append(res.History, GossipRoundStat{
@@ -280,6 +352,15 @@ func (s *GossipSession) Run(g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt
 		}
 	}
 	return res
+}
+
+// uniformGossipProb asks a UniformGossipRound protocol for the round's
+// shared probability when skipping is enabled; (0, false) otherwise.
+func uniformGossipProb(u UniformGossipRound, enabled bool, round int) (float64, bool) {
+	if !enabled {
+		return 0, false
+	}
+	return u.RoundProb(round)
 }
 
 // RunGossip simulates protocol p gossiping on a static graph g: a fresh

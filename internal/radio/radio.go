@@ -28,6 +28,20 @@
 // one call and skips the scalar loop. Both paths must select the same
 // transmitter sequence from the same randomness (the shared-draw contract,
 // see BatchBroadcaster), so engine results are independent of the path.
+//
+// # The sparse round engine
+//
+// Delivery is direction-optimizing: per round the engine compares the
+// transmitters' out-degree sum against the uninformed frontier's in-degree
+// sum (tracked incrementally) and picks the cheaper kernel — push
+// (radio.go), parallel push (parallel.go), or the receiver-centric pull
+// kernel over the frontier list (frontier.go). Protocols whose rounds are
+// uniform Bernoulli draws additionally implement UniformRound and take
+// their draws through TxSet's cross-round stream contract, letting the
+// engine skip fully silent rounds in O(1) and the energy model settle the
+// skipped span in bulk. All configurations are bit-identical on the
+// informed trajectory, per-node transmissions, rounds and energy; only
+// Result.Collisions is kernel-dependent (see its contract).
 package radio
 
 import (
@@ -95,22 +109,83 @@ type BatchBroadcaster interface {
 	AppendTransmitters(round int, informed []graph.NodeID, dst []graph.NodeID) []graph.NodeID
 }
 
-// engineOverrides force specific engine paths; see SetEngineOverrides.
-var engineOverrides struct {
-	scalarDecisions  bool
-	parallelDelivery bool
+// UniformRound is the optional cross-round fast path: protocols whose
+// transmit decision in (a phase of) rounds is one shared Bernoulli(q) draw
+// over their candidate list, taken through the TxSet stream contract
+// (DrawListStream / DrawRangeStream), implement it so the engine can skip
+// provably silent rounds in O(1) instead of grinding through them one at a
+// time. FixedProb, the Phase-3 trickles of Algorithm 1 and
+// Elsässer–Gasieniec, and the uniform gossips qualify; protocols whose
+// per-round probability varies (Algorithm 3's 2^{-I_r}) do not.
+type UniformRound interface {
+	Broadcaster
+	// RoundProb reports the shared per-candidate transmit probability of
+	// `round`, with ok == false when the round is not a uniform Bernoulli
+	// round (flood phases, one-shot phases, exhausted schedules).
+	RoundProb(round int) (q float64, ok bool)
+	// SkipSilent advances protocol state from round `from` across rounds
+	// that are provably silent under the stream contract, up to round `to`
+	// inclusive, and returns the first round the engine must execute
+	// normally (to+1 when the whole span is silent). Implementations must
+	// stop AT (i.e. return, not skip past) any round in which a transmission
+	// is pending, the round is not uniform, or Quiesced could first report
+	// true at the round's end — the engine executes that round through the
+	// ordinary per-round path, which continues from the same stream state.
+	SkipSilent(from, to int) int
 }
 
-// SetEngineOverrides globally forces engine code paths, for the equivalence
-// tests and for debugging: scalarDecisions disables the batch decision fast
-// path even for BatchBroadcasters; parallelDelivery routes every loss-free
-// delivery through the parallel kernel. Call only while no simulations are
-// running; both paths are bit-identical to the defaults, so overrides must
-// never change any result.
-func SetEngineOverrides(scalarDecisions, parallelDelivery bool) {
-	engineOverrides.scalarDecisions = scalarDecisions
-	engineOverrides.parallelDelivery = parallelDelivery
+// UniformGossipRound is the gossip analogue of UniformRound, with the same
+// SkipSilent contract (gossip protocols never quiesce, so only pending
+// transmissions bound a skip).
+type UniformGossipRound interface {
+	Gossiper
+	RoundProb(round int) (q float64, ok bool)
+	SkipSilent(from, to int) int
 }
+
+// DeliveryKernel names a delivery implementation for EngineOverrides.
+type DeliveryKernel int
+
+const (
+	// KernelAuto lets the engine pick per round from the cost estimates
+	// (the default): pull when the uninformed frontier's in-degree sum
+	// undercuts the transmitters' out-degree sum, push otherwise (parallel
+	// push when Options.Parallel).
+	KernelAuto DeliveryKernel = iota
+	// KernelPush forces the serial transmitter-centric kernel.
+	KernelPush
+	// KernelPull forces the receiver-centric frontier kernel.
+	KernelPull
+	// KernelParallel forces the receiver-sharded parallel push kernel.
+	KernelParallel
+)
+
+// EngineOverrides force specific engine code paths, for the equivalence
+// tests and for debugging. All combinations are bit-identical on the
+// informed trajectory, per-node transmissions, rounds and energy report;
+// only Result.Collisions may differ under KernelPull (see the
+// Result.Collisions contract).
+type EngineOverrides struct {
+	// ScalarDecisions disables the batch decision fast path even for
+	// BatchBroadcasters / BatchGossipers.
+	ScalarDecisions bool
+	// Kernel pins the delivery kernel instead of the per-round cost model.
+	// Rounds under a positive LossProb always use the serial lossy kernel
+	// regardless (fading draws are transmitter-ordered).
+	Kernel DeliveryKernel
+	// DisableSkip forces round-by-round execution even for UniformRound
+	// protocols.
+	DisableSkip bool
+}
+
+// engineOverrides is the active override set; see SetEngineOverrides.
+var engineOverrides EngineOverrides
+
+// SetEngineOverrides globally forces engine code paths. Call only while no
+// simulations are running; every configuration must produce identical
+// results (up to the Result.Collisions contract under KernelPull), which is
+// what the engine equivalence tests pin.
+func SetEngineOverrides(o EngineOverrides) { engineOverrides = o }
 
 // Options configures a simulation run (one session segment).
 type Options struct {
@@ -144,6 +219,14 @@ type Options struct {
 	// by external interference in the given round: a jammed node cannot
 	// receive that round (the noise collides with any transmission).
 	Jammed func(round int) []graph.NodeID
+	// ExactCollisions forces transmitter-side delivery kernels so that
+	// Result.Collisions counts collisions at every receiver, informed or
+	// not. Without it the engine may select the receiver-centric pull
+	// kernel for late-phase rounds, whose collision count covers only
+	// uninformed receivers (the informed trajectory, transmissions, rounds
+	// and energy are identical either way). RecordHistory and Tracer imply
+	// exact collisions.
+	ExactCollisions bool
 	// Energy, when non-nil, enables the per-round radio energy model (see
 	// internal/energy): every alive node is charged for exactly one state
 	// per round (transmit / receive / listen / sleep), depleted nodes stop
@@ -206,9 +289,15 @@ type Result struct {
 	TotalTx       int64 // total transmissions over the whole run
 	MaxNodeTx     int   // maximum transmissions by any single node
 	PerNodeTx     []int32
-	Collisions    int64
-	History       []RoundStat    // non-nil iff Options.RecordHistory
-	Energy        *energy.Report // non-nil iff the session ran with Options.Energy
+	// Collisions counts receivers that heard >= 2 transmitters in a round,
+	// summed over rounds. Contract: rounds delivered by the receiver-centric
+	// pull kernel count collisions at UNINFORMED receivers only (the only
+	// ones the kernel examines). The engine uses pull only when no consumer
+	// needs the transmitter-side count — set Options.ExactCollisions (or
+	// RecordHistory, or a Tracer) to force exact counting at every receiver.
+	Collisions int64
+	History    []RoundStat    // non-nil iff Options.RecordHistory
+	Energy     *energy.Report // non-nil iff the session ran with Options.Energy
 }
 
 // Completed reports whether the target informed count was reached.
@@ -236,6 +325,7 @@ type Scratch struct {
 	informedList []graph.NodeID
 	txbuf        []graph.NodeID
 	st           *deliveryState
+	fr           *frontierState
 	par          *parallelDeliverer
 	energy       *energy.State // lazily created on the first energy-enabled session
 }
@@ -253,6 +343,7 @@ func (sc *Scratch) acquire(n int) {
 		sc.informedList = make([]graph.NodeID, 0, n)
 		sc.txbuf = make([]graph.NodeID, 0, n)
 		sc.st = newDeliveryState(n)
+		sc.fr = newFrontierState(n)
 		sc.par = nil
 		return
 	}
@@ -260,6 +351,7 @@ func (sc *Scratch) acquire(n int) {
 	clear(sc.perNodeTx)
 	sc.informedList = sc.informedList[:0]
 	sc.txbuf = sc.txbuf[:0]
+	sc.fr.reset(n)
 }
 
 // BroadcastSession carries broadcast state — the informed set, the protocol
@@ -291,7 +383,12 @@ type BroadcastSession struct {
 
 	sc  *Scratch // non-nil when buffers are borrowed
 	st  *deliveryState
+	fr  *frontierState
 	par *parallelDeliverer
+
+	// Pull-kernel cost tracking: Σ InDegree over uninformed nodes for the
+	// current Run segment's graph, decremented as nodes are informed.
+	uninSum int64
 }
 
 // NewBroadcastSession starts a session: protocol p is initialised for an
@@ -325,11 +422,13 @@ func NewBroadcastSessionWith(sc *Scratch, n int, src graph.NodeID, p Broadcaster
 		s.informedList = sc.informedList
 		s.txbuf = sc.txbuf
 		s.st = sc.st
+		s.fr = sc.fr
 		s.par = sc.par
 	} else {
 		s.informed = NewBitset(n)
 		s.perNodeTx = make([]int32, n)
 		s.st = newDeliveryState(n)
+		s.fr = newFrontierState(n)
 	}
 	p.Begin(n, src, protoRNG)
 	s.channel = protoRNG.Split(0xc4a881e1)
@@ -407,14 +506,28 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		target = s.n
 	}
 	parallel := opt.Parallel ||
-		(engineOverrides.parallelDelivery && opt.LossProb == 0)
+		(engineOverrides.Kernel == KernelParallel && opt.LossProb == 0)
 	if parallel && s.par == nil {
 		s.par = newParallelDeliverer(s.n, opt.Workers)
 		if s.sc != nil {
 			s.sc.par = s.par
 		}
 	}
-	useBatch := s.batch != nil && !engineOverrides.scalarDecisions
+	useBatch := s.batch != nil && !engineOverrides.ScalarDecisions
+	// Collision-exactness consumers pin transmitter-side kernels (see the
+	// Result.Collisions contract); an explicit override forcing wins.
+	exactCollisions := opt.ExactCollisions || opt.RecordHistory || opt.Tracer != nil
+	// The pull kernel's cost estimate: Σ in-degree over uninformed nodes,
+	// recomputed per segment whenever adaptive pull is reachable — callers
+	// may rebuild the SAME *Digraph in place between segments (graph.Scratch
+	// reuse is exactly what the mobility epochs do), so pointer identity
+	// cannot prove the topology is unchanged. O(n/64 + uninformed) per Run,
+	// then maintained incrementally in the round loop. Segments that can
+	// never consult it (forced kernels, lossy channel, exact-collision
+	// consumers) skip the scan.
+	if engineOverrides.Kernel == KernelAuto && opt.LossProb == 0 && !exactCollisions {
+		s.uninSum = uninformedInSum(g, s.informed)
+	}
 	if opt.Energy != nil {
 		if s.energy == nil {
 			s.initEnergy(opt.Energy)
@@ -437,9 +550,55 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 
 	transmitters := s.txbuf
 	_, alreadyDone := s.reachedAt[target]
-	for seg := 1; seg <= opt.MaxRounds && !s.quiesced && !(opt.StopWhenInformed && alreadyDone); seg++ {
-		s.rounds++
-		round := s.rounds
+	// Cross-round skipping applies when the protocol exposes the uniform
+	// stream contract and no per-round observer (history rows, tracer
+	// callbacks, jamming queries) would notice the missing rounds.
+	skipper, _ := s.proto.(UniformRound)
+	canSkip := skipper != nil && !engineOverrides.DisableSkip &&
+		opt.Tracer == nil && !opt.RecordHistory && opt.Jammed == nil
+	segEnd := s.rounds + opt.MaxRounds
+	for s.rounds < segEnd && !s.quiesced && !(opt.StopWhenInformed && alreadyDone) {
+		round := s.rounds + 1
+		// RoundProb gates the skip attempt: only uniform Bernoulli rounds
+		// are candidates (SkipSilent additionally refuses on its own — this
+		// is the cheap first check and what keeps RoundProb honest).
+		if _, uniform := uniformProb(skipper, canSkip, round); uniform {
+			// Ask the protocol to fast-forward across silent rounds. The
+			// span is bounded by the next predicted battery death so the
+			// all-dead early stop below can only trigger at the span's end —
+			// protocol state then matches the round clock exactly.
+			to := segEnd
+			if en != nil {
+				if d := en.NextPassiveDeathSession(); d < to {
+					if d < round {
+						d = round
+					}
+					to = d
+				}
+			}
+			if next := skipper.SkipSilent(round, to); next > round {
+				if next > to+1 {
+					next = to + 1
+				}
+				if en != nil {
+					// Settle the idle span in bulk: listen/sleep node-rounds
+					// and any spontaneous depletions (only possible at the
+					// span's final round, by the bound above).
+					if deaths := en.AdvanceIdle(round, next-1); deaths > 0 {
+						en.CheckPartition(g, next-1)
+					}
+				}
+				s.rounds = next - 1
+				if en != nil && en.AliveCount() == 0 {
+					break
+				}
+				if s.rounds >= segEnd {
+					break
+				}
+				round = next
+			}
+		}
+		s.rounds = round
 		s.proto.BeginRound(round)
 		if opt.Tracer != nil {
 			opt.Tracer.RoundStart(round)
@@ -476,14 +635,34 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		// Delivery phase. (Half- vs full-duplex is immaterial for broadcast:
 		// every transmitter is already informed, so it can never be a first-
 		// time receiver. The distinction matters for gossip; see gossip.go.)
+		// Kernel selection is direction-optimizing: once the frontier's
+		// in-degree sum undercuts the transmitters' out-degree sum (the late
+		// phase), the receiver-centric pull kernel wins. Lossy rounds always
+		// run the serial lossy kernel (fading draws are transmitter-ordered).
 		// The returned slice is kernel scratch, valid until the next round.
 		var delivered []graph.NodeID
 		var collisions int
-		if parallel {
-			delivered, collisions = s.par.deliver(g, transmitters, s.informed)
-		} else if opt.LossProb > 0 {
+		usePull := false
+		if opt.LossProb == 0 {
+			switch engineOverrides.Kernel {
+			case KernelPull:
+				usePull = true
+			case KernelPush, KernelParallel:
+				// forced transmitter-side kernels
+			default:
+				usePull = !exactCollisions && len(transmitters) > 0 &&
+					s.uninSum+int64(len(transmitters)) < outDegSum(g, transmitters)
+			}
+		}
+		switch {
+		case usePull:
+			s.fr.sync(s.informed, s.n)
+			delivered, collisions = s.fr.deliver(g, transmitters)
+		case opt.LossProb > 0:
 			delivered, collisions = s.st.deliverLossy(g, transmitters, s.informed, opt.LossProb, s.channel)
-		} else {
+		case parallel:
+			delivered, collisions = s.par.deliver(g, transmitters, s.informed)
+		default:
 			delivered, collisions = s.st.deliver(g, transmitters, s.informed)
 		}
 		if opt.Jammed != nil {
@@ -499,11 +678,13 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		for _, v := range delivered {
 			s.informed.Set(v)
 			s.informedList = append(s.informedList, v)
+			s.uninSum -= int64(g.InDegree(v))
 			s.proto.OnInformed(round, v)
 			if opt.Tracer != nil {
 				opt.Tracer.Deliver(round, v)
 			}
 		}
+		s.fr.remove(delivered)
 		if opt.Tracer != nil {
 			opt.Tracer.RoundEnd(round, len(transmitters), len(delivered), collisions)
 		}
@@ -564,6 +745,15 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		}
 	}
 	return res
+}
+
+// uniformProb asks a UniformRound protocol for the round's shared
+// probability when skipping is enabled; (0, false) otherwise.
+func uniformProb(u UniformRound, enabled bool, round int) (float64, bool) {
+	if !enabled {
+		return 0, false
+	}
+	return u.RoundProb(round)
 }
 
 // dropJammed removes jammed receivers from the delivered list, preserving

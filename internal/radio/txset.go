@@ -14,6 +14,16 @@ import (
 type TxSet struct {
 	pending []graph.NodeID
 	txRound []int // txRound[v] == r iff v transmits in round r
+
+	// Cross-round stream state (the stream-draw contract, see
+	// DrawListStream): gap is the number of candidate positions left to
+	// skip before the next selected position of the concatenated
+	// Bernoulli(streamQ) stream. Valid only while streamOK; a draw with a
+	// different probability restarts the stream (the remainder of a
+	// Geometric(q') overshoot is memoryless only for q').
+	gap      int
+	streamQ  float64
+	streamOK bool
 }
 
 // Reset readies the set for a fresh run on an n-node network, reusing the
@@ -23,6 +33,7 @@ type TxSet struct {
 // runs.
 func (s *TxSet) Reset(n int) {
 	s.pending = s.pending[:0]
+	s.streamOK = false
 	if cap(s.txRound) < n {
 		s.txRound = make([]int, n)
 		return
@@ -66,12 +77,105 @@ func (s *TxSet) DrawRange(r *rng.RNG, n int, p float64, round int) {
 	}
 }
 
+// ensureStream primes the carried gap for probability q, restarting the
+// stream when q changed since the carry was drawn.
+func (s *TxSet) ensureStream(r *rng.RNG, q float64) {
+	if !s.streamOK || s.streamQ != q {
+		s.gap = r.Geometric(q)
+		s.streamQ = q
+		s.streamOK = true
+	}
+}
+
+// DrawListStream is DrawList under the cross-round stream contract: the
+// rounds of one uniform-probability phase are treated as a single
+// concatenated Bernoulli(q) stream over the per-round candidate lists, so
+// each round's trailing geometric overshoot carries into the next round
+// with the same q instead of being redrawn. A fully silent round therefore
+// consumes NO randomness (the carried gap just shrinks by the candidate
+// count) — the property the engine's silent-round skipping
+// (UniformRound.SkipSilent / StreamSilentRounds) is built on. Per-round
+// marginals are unchanged: every candidate is still selected independently
+// with probability q.
+func (s *TxSet) DrawListStream(r *rng.RNG, list []graph.NodeID, q float64, round int) {
+	k := len(list)
+	if q >= 1 {
+		// Degenerate flood round: everyone transmits, no randomness, and the
+		// carried gap (if any) is untouched.
+		s.AddAll(list, round)
+		return
+	}
+	if q <= 0 || k == 0 {
+		return
+	}
+	s.ensureStream(r, q)
+	pos := 0
+	for pos+s.gap < k {
+		pos += s.gap
+		s.Add(list[pos], round)
+		pos++
+		s.gap = r.Geometric(q)
+	}
+	s.gap -= k - pos
+}
+
+// DrawRangeStream is DrawListStream over the id range [0, n) — the gossip
+// case, where every node is a candidate.
+func (s *TxSet) DrawRangeStream(r *rng.RNG, n int, q float64, round int) {
+	if q >= 1 {
+		for v := 0; v < n; v++ {
+			s.Add(graph.NodeID(v), round)
+		}
+		return
+	}
+	if q <= 0 || n == 0 {
+		return
+	}
+	s.ensureStream(r, q)
+	pos := 0
+	for pos+s.gap < n {
+		pos += s.gap
+		s.Add(graph.NodeID(pos), round)
+		pos++
+		s.gap = r.Geometric(q)
+	}
+	s.gap -= n - pos
+}
+
+// StreamSilentRounds consumes up to max whole silent rounds of k candidates
+// each from the carried gap and returns how many rounds were verified
+// silent — the O(1) cross-round skip: a round is silent iff the gap spans
+// its whole candidate window, so a span of m silent rounds is m·k positions
+// subtracted from the gap with no RNG draws at all. A return of m < max
+// means the next round has a selection pending (or the call does not apply:
+// k == 0, q >= 1) and must be drawn normally via DrawListStream /
+// DrawRangeStream, which continues from the same gap.
+func (s *TxSet) StreamSilentRounds(r *rng.RNG, k int, q float64, max int) int {
+	if max <= 0 || k <= 0 || q >= 1 {
+		return 0
+	}
+	if q <= 0 {
+		return max // nothing is ever selected; no randomness involved
+	}
+	s.ensureStream(r, q)
+	m := s.gap / k
+	if m > max {
+		m = max
+	}
+	s.gap -= m * k
+	return m
+}
+
 // Contains reports whether v is in the given round's set (the scalar
 // ShouldTransmit body).
 func (s *TxSet) Contains(v graph.NodeID, round int) bool { return s.txRound[v] == round }
 
 // AppendTo appends the round's set to dst (the AppendTransmitters body).
 func (s *TxSet) AppendTo(dst []graph.NodeID) []graph.NodeID { return append(dst, s.pending...) }
+
+// Pending returns this round's selected set in selection order (aliases
+// internal storage; valid until the next BeginRound).
+func (s *TxSet) Pending() []graph.NodeID { return s.pending }
 
 // WindowQueue is the activity-window queue shared by the window-based
 // protocols (GeneralBroadcast, FixedProb): nodes enter in informing order,

@@ -14,6 +14,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"unicode/utf8"
 
 	"repro/internal/rng"
 )
@@ -56,8 +57,27 @@ func RunTrialsScratch(trials int, baseSeed uint64, workers int, newScratch func(
 		workers = trials
 	}
 	results := make([]Metrics, trials)
+	// Dispatch in chunked index ranges through a fully buffered channel: a
+	// cheap trial then costs one channel receive per chunk of
+	// trials/(8·workers) trials instead of a blocking unbuffered handoff
+	// per trial (see BenchmarkRunTrialsDispatch). Eight chunks per worker
+	// keeps the tail balanced when trial costs are uneven. Determinism is
+	// untouched: seeds depend only on (baseSeed, index), whichever worker
+	// executes a chunk.
+	chunk := trials / (workers * 8)
+	if chunk < 1 {
+		chunk = 1
+	}
+	spans := make(chan [2]int, (trials+chunk-1)/chunk)
+	for lo := 0; lo < trials; lo += chunk {
+		hi := lo + chunk
+		if hi > trials {
+			hi = trials
+		}
+		spans <- [2]int{lo, hi}
+	}
+	close(spans)
 	var wg sync.WaitGroup
-	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -66,15 +86,13 @@ func RunTrialsScratch(trials int, baseSeed uint64, workers int, newScratch func(
 			if newScratch != nil {
 				sc = newScratch()
 			}
-			for i := range next {
-				results[i] = fn(Trial{Index: i, Seed: rng.SubSeed(baseSeed, uint64(i)), Scratch: sc})
+			for span := range spans {
+				for i := span[0]; i < span[1]; i++ {
+					results[i] = fn(Trial{Index: i, Seed: rng.SubSeed(baseSeed, uint64(i)), Scratch: sc})
+				}
 			}
 		}()
 	}
-	for i := 0; i < trials; i++ {
-		next <- i
-	}
-	close(next)
 	wg.Wait()
 
 	out := make(map[string][]float64)
@@ -122,25 +140,30 @@ func (t *Table) AddRow(cells ...string) {
 }
 
 // Markdown renders the table as a GitHub-flavoured markdown table with a
-// title heading and optional note.
+// title heading and optional note. Column widths are measured in runes, not
+// bytes, so cells holding multi-byte characters (α, ≤, ·) stay aligned.
 func (t *Table) Markdown() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "### %s\n\n", t.Title)
 	widths := make([]int, len(t.Columns))
 	for i, c := range t.Columns {
-		widths[i] = len(c)
+		widths[i] = utf8.RuneCountInString(c)
 	}
 	for _, row := range t.Rows {
 		for i, cell := range row {
-			if len(cell) > widths[i] {
-				widths[i] = len(cell)
+			if w := utf8.RuneCountInString(cell); w > widths[i] {
+				widths[i] = w
 			}
 		}
 	}
 	writeRow := func(cells []string) {
 		b.WriteString("|")
 		for i, cell := range cells {
-			fmt.Fprintf(&b, " %-*s |", widths[i], cell)
+			// Pad by rune count ourselves: fmt's %-*s pads by bytes.
+			b.WriteString(" ")
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-utf8.RuneCountInString(cell)))
+			b.WriteString(" |")
 		}
 		b.WriteString("\n")
 	}

@@ -3,8 +3,10 @@ package sweep
 import (
 	"math"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"unicode/utf8"
 
 	"repro/internal/rng"
 )
@@ -173,4 +175,89 @@ func TestMeanOfPanics(t *testing.T) {
 		}
 	}()
 	MeanOf(map[string][]float64{}, "missing")
+}
+
+func TestTableMarkdownRuneAlignment(t *testing.T) {
+	// Multi-byte headers and cells (α, ≤, ·) must not skew column widths:
+	// width is measured in runes, so every rendered row has the same rune
+	// length and each column's pipes line up.
+	tb := NewTable("Unicode", "α", "q ≤ 1/d", "n")
+	tb.AddRow("0.5", "yes", "1024")
+	tb.AddRow("0.25", "tx·p", "2")
+	md := tb.Markdown()
+	lines := strings.Split(strings.TrimSpace(md), "\n")
+	rows := lines[2:6] // header, separator, two data rows
+	want := utf8.RuneCountInString(rows[0])
+	for i, row := range rows {
+		if got := utf8.RuneCountInString(row); got != want {
+			t.Fatalf("row %d has rune width %d, header has %d:\n%s", i, got, want, md)
+		}
+	}
+	// Column boundaries must agree rune-for-rune between header and rows.
+	hdrPipes := runeIndexesOf(rows[0], '|')
+	for i, row := range []string{rows[2], rows[3]} {
+		if got := runeIndexesOf(row, '|'); !intSlicesEqual(got, hdrPipes) {
+			t.Fatalf("data row %d pipes at %v, header at %v:\n%s", i, got, hdrPipes, md)
+		}
+	}
+}
+
+func runeIndexesOf(s string, c rune) []int {
+	var out []int
+	i := 0
+	for _, r := range s {
+		if r == c {
+			out = append(out, i)
+		}
+		i++
+	}
+	return out
+}
+
+func intSlicesEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestChunkedDispatchCoversAllTrialsAtAwkwardSizes guards the chunked
+// dispatch arithmetic: trial counts that do not divide evenly into
+// workers×8 chunks must still execute every index exactly once.
+func TestChunkedDispatchCoversAllTrialsAtAwkwardSizes(t *testing.T) {
+	for _, trials := range []int{1, 2, 7, 63, 64, 65, 1000} {
+		for _, workers := range []int{1, 3, 8, 64} {
+			var mu sync.Mutex
+			seen := make(map[int]int)
+			RunTrials(trials, 9, workers, func(tr Trial) Metrics {
+				mu.Lock()
+				seen[tr.Index]++
+				mu.Unlock()
+				return Metrics{"i": float64(tr.Index)}
+			})
+			if len(seen) != trials {
+				t.Fatalf("trials=%d workers=%d: %d distinct indices executed", trials, workers, len(seen))
+			}
+			for i, c := range seen {
+				if c != 1 {
+					t.Fatalf("trials=%d workers=%d: index %d executed %d times", trials, workers, i, c)
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkRunTrialsDispatch measures the per-trial dispatch overhead with
+// a near-free trial body — the regime where the old one-index-per-
+// unbuffered-send loop was dominated by channel handoffs. Chunked ranges
+// amortise the channel operation over ~8 trials.
+func BenchmarkRunTrialsDispatch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		RunTrials(4096, 7, 4, func(tr Trial) Metrics { return nil })
+	}
 }

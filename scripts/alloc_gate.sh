@@ -1,0 +1,52 @@
+#!/usr/bin/env bash
+# Allocation gate: parse a benchmark text file (the ${OUT%.json}.txt form
+# written by scripts/bench.sh, i.e. `go test -bench -benchmem` result lines)
+# and fail if any per-round benchmark — BenchmarkPrimitive*Round* — reports
+# more than 0 allocs/op. These benchmarks time individual simulated rounds
+# over a warm session, so any steady-state allocation in the round loop
+# (decision draw, delivery kernel, energy accounting, skip path) shows up
+# here and regresses the engine's allocation-free contract.
+#
+#   scripts/alloc_gate.sh BENCH_pr.txt
+#
+# Run it on a full-harness result (default benchtime), not a -benchtime=1x
+# smoke: per-run setup allocations only amortise to 0 allocs/op across many
+# timed rounds.
+set -euo pipefail
+
+if [[ $# -ne 1 ]]; then
+  echo "usage: scripts/alloc_gate.sh BENCH.txt" >&2
+  exit 2
+fi
+
+awk '
+/^BenchmarkPrimitive[A-Za-z0-9]*Round/ {
+  name = $1
+  sub(/-[0-9]+$/, "", name)
+  v = -1
+  for (i = 2; i < NF; i++) {
+    if ($(i + 1) == "allocs/op") { v = $i; break }
+  }
+  if (v < 0) next # no -benchmem column on this line
+  seen[name] = 1
+  if (v + 0 > worst[name]) worst[name] = v + 0
+}
+END {
+  n = 0
+  bad = 0
+  for (name in seen) {
+    n++
+    status = "OK"
+    if (worst[name] > 0) { status = "FAIL"; bad++ }
+    printf "%-52s %10d allocs/op   %s\n", name, worst[name], status
+  }
+  if (n == 0) {
+    print "alloc_gate: no Primitive*Round* benchmarks with allocs/op found" > "/dev/stderr"
+    exit 2
+  }
+  if (bad > 0) {
+    printf "alloc_gate: FAIL — %d per-round benchmark(s) allocate in the round loop\n", bad > "/dev/stderr"
+    exit 1
+  }
+  print "alloc_gate: OK"
+}' "$1"
