@@ -1,0 +1,173 @@
+// Command campaignctl is the operator CLI for campaignd: submit
+// campaigns, watch progress, and pull results — stdlib only, so scripts
+// need neither curl nor jq.
+//
+//	campaignctl [-daemon URL] submit -experiments F1,F2 [-full] [-seed N] [-id job-x] [-resume]
+//	campaignctl [-daemon URL] status <job>
+//	campaignctl [-daemon URL] wait <job> [-timeout D] [-poll D]
+//	campaignctl [-daemon URL] records <job>        # JSONL to stdout
+//	campaignctl [-daemon URL] manifest <job>
+//	campaignctl [-daemon URL] jobs
+//	campaignctl [-daemon URL] health
+//
+// `wait` blocks until the campaign finishes: exit 0 when every point
+// completed, exit 4 when it completed degraded (holes in the failure
+// manifest), exit 1 on error or timeout.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/jobqueue"
+)
+
+func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: campaignctl [-daemon URL] <submit|status|wait|records|manifest|jobs|health> [args]")
+	return 2
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	global := flag.NewFlagSet("campaignctl", flag.ContinueOnError)
+	global.SetOutput(stderr)
+	daemon := global.String("daemon", "http://127.0.0.1:8655", "campaignd base URL")
+	if err := global.Parse(args); err != nil {
+		return 2
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		return usage(stderr)
+	}
+	c := jobqueue.NewClient(*daemon)
+	cmd, rest := rest[0], rest[1:]
+
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "campaignctl:", err)
+		return 1
+	}
+	printJSON := func(v any) int {
+		data, err := json.MarshalIndent(v, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintln(stdout, string(data))
+		return 0
+	}
+
+	switch cmd {
+	case "submit":
+		fs := flag.NewFlagSet("submit", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		var (
+			expts   = fs.String("experiments", "all", "comma-separated experiment IDs, or \"all\"")
+			full    = fs.Bool("full", false, "paper-faithful scale (default: reduced)")
+			seed    = fs.Uint64("seed", 1, "base seed; every point seed derives from it")
+			workers = fs.Int("workers", 0, "per-point simulation parallelism hint (0 = worker default)")
+			id      = fs.String("id", "", "job ID (default: daemon-assigned)")
+			resume  = fs.Bool("resume", false, "resume into this job's existing checkpoint namespace")
+		)
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		st, err := c.Submit(jobqueue.JobSpec{
+			ID:          *id,
+			Experiments: strings.Split(*expts, ","),
+			Full:        *full,
+			Seed:        *seed,
+			Workers:     *workers,
+			Resume:      *resume,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		return printJSON(st)
+
+	case "status":
+		if len(rest) != 1 {
+			return usage(stderr)
+		}
+		st, err := c.Status(rest[0])
+		if err != nil {
+			return fail(err)
+		}
+		return printJSON(st)
+
+	case "wait":
+		fs := flag.NewFlagSet("wait", flag.ContinueOnError)
+		fs.SetOutput(stderr)
+		timeout := fs.Duration("timeout", 30*time.Minute, "give up after this long")
+		poll := fs.Duration("poll", time.Second, "status poll interval")
+		if err := fs.Parse(rest); err != nil {
+			return 2
+		}
+		if fs.NArg() != 1 {
+			return usage(stderr)
+		}
+		job := fs.Arg(0)
+		deadline := time.Now().Add(*timeout)
+		for {
+			st, err := c.Status(job)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stderr, "campaignctl: %s: %d/%d done, %d leased, %d failed, eta %.0fs\n",
+				job, st.Done, st.Total, st.Leased, st.Failed, st.ETASeconds)
+			if st.State == "complete" {
+				if st.Failed > 0 {
+					fmt.Fprintf(stderr, "campaignctl: %s completed DEGRADED: %d point(s) in the failure manifest\n", job, st.Failed)
+					return 4
+				}
+				fmt.Fprintf(stderr, "campaignctl: %s completed clean (%d point(s))\n", job, st.Done)
+				return 0
+			}
+			if time.Now().After(deadline) {
+				return fail(fmt.Errorf("timed out waiting for %s (%d/%d done)", job, st.Done, st.Total))
+			}
+			time.Sleep(*poll)
+		}
+
+	case "records":
+		if len(rest) != 1 {
+			return usage(stderr)
+		}
+		if err := c.Records(rest[0], stdout); err != nil {
+			return fail(err)
+		}
+		return 0
+
+	case "manifest":
+		if len(rest) != 1 {
+			return usage(stderr)
+		}
+		m, err := c.ManifestOf(rest[0])
+		if err != nil {
+			return fail(err)
+		}
+		return printJSON(m)
+
+	case "jobs":
+		jobs, err := c.Jobs()
+		if err != nil {
+			return fail(err)
+		}
+		return printJSON(map[string]any{"jobs": jobs})
+
+	case "health":
+		h, err := c.Healthz()
+		if err != nil {
+			return fail(err)
+		}
+		return printJSON(h)
+
+	default:
+		fmt.Fprintf(stderr, "campaignctl: unknown command %q\n", cmd)
+		return usage(stderr)
+	}
+}

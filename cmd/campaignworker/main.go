@@ -1,0 +1,87 @@
+// Command campaignworker is the execution half of the campaign service:
+// it registers with a campaignd daemon, pulls point leases, runs each
+// point through the compiled-in experiment registry, and reports records
+// back. Run as many as you like against one daemon — dispatch is
+// pull-based, so workers steal whatever work is runnable.
+//
+//	campaignworker -daemon http://127.0.0.1:8655
+//	campaignworker -daemon http://127.0.0.1:8655 -id lab-2
+//
+// A worker is stateless: records land in the daemon's checkpoint
+// namespace, and a worker that dies mid-point simply loses its lease —
+// the daemon requeues the point and another worker reruns it with the
+// same derived seed, producing the identical record.
+//
+// Chaos flags (fault injection for tests and the CI smoke job):
+//
+//	-chaos.kill-after-points N   complete N points, acquire one more
+//	                             lease, then die holding it (exit 3)
+//	-chaos.latency D             sleep D before reporting each point
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/jobqueue"
+	"repro/internal/jobqueue/exptrun"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		daemon    = flag.String("daemon", "http://127.0.0.1:8655", "campaignd base URL")
+		id        = flag.String("id", "", "worker ID (default: worker-<pid>)")
+		poll      = flag.Duration("poll", 500*time.Millisecond, "idle wait between lease requests")
+		heartbeat = flag.Duration("heartbeat", 0, "heartbeat cadence (default: the daemon's suggestion)")
+		chaosKill = flag.Int("chaos.kill-after-points", -1, "CHAOS: die holding an unreported lease after completing this many points (-1 disables)")
+		chaosLat  = flag.Duration("chaos.latency", 0, "CHAOS: sleep before reporting each completion")
+	)
+	flag.Parse()
+	if *id == "" {
+		*id = fmt.Sprintf("worker-%d", os.Getpid())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		fmt.Fprintf(os.Stderr, "campaignworker: %v — finishing in-flight point, then exiting\n", s)
+		cancel()
+		<-sig
+		fmt.Fprintln(os.Stderr, "campaignworker: second signal — exiting immediately")
+		os.Exit(130)
+	}()
+
+	killAt := 0
+	if *chaosKill >= 0 {
+		killAt = *chaosKill + 1 // complete N points, die holding lease N+1
+	}
+	err := jobqueue.RunWorker(ctx, jobqueue.NewClient(*daemon), exptrun.Runner{}, jobqueue.WorkerOptions{
+		ID:               *id,
+		Poll:             *poll,
+		Heartbeat:        *heartbeat,
+		ChaosKillAtLease: killAt,
+		ChaosLatency:     *chaosLat,
+		Log:              os.Stderr,
+	})
+	switch {
+	case err == nil, errors.Is(err, context.Canceled):
+		return 0
+	case errors.Is(err, jobqueue.ErrChaosKill):
+		fmt.Fprintln(os.Stderr, "campaignworker:", err)
+		return 3
+	default:
+		fmt.Fprintln(os.Stderr, "campaignworker:", err)
+		return 1
+	}
+}

@@ -26,16 +26,19 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
@@ -43,6 +46,45 @@ import (
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
+
+// notifySignals and exitNow are the process-level hooks of the graceful
+// shutdown path, as variables so tests can drive "SIGINT mid-campaign"
+// in-process instead of killing their own test binary.
+var (
+	notifySignals = func(ch chan<- os.Signal) { signal.Notify(ch, os.Interrupt, syscall.SIGTERM) }
+	exitNow       = os.Exit
+)
+
+// exitInterrupted is the distinct status for a run stopped by SIGINT or
+// SIGTERM after finishing its in-flight grid point and flushing the
+// checkpoint (130 = killed outright by a second signal).
+const exitInterrupted = 3
+
+// watchSignals closes the returned channel on the first SIGINT/SIGTERM —
+// the campaign engine then stops between grid points, so the checkpoint
+// stays a clean prefix of the run — and hard-exits on the second. The
+// watcher dies with the surrounding run (close done).
+func watchSignals(stderr io.Writer, done <-chan struct{}) <-chan struct{} {
+	interrupt := make(chan struct{})
+	sig := make(chan os.Signal, 2)
+	notifySignals(sig)
+	go func() {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(stderr, "experiments: %v — finishing the in-flight grid point and flushing the checkpoint (signal again to abort immediately)\n", s)
+			close(interrupt)
+		case <-done:
+			return
+		}
+		select {
+		case s := <-sig:
+			fmt.Fprintf(stderr, "experiments: %v again — aborting without flushing\n", s)
+			exitNow(130)
+		case <-done:
+		}
+	}()
+	return interrupt
+}
 
 // parseShard parses "k/N" into (k, N). An empty spec means unsharded.
 func parseShard(spec string) (k, n int, err error) {
@@ -181,6 +223,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := expt.Config{Full: *full, Seed: *seed, Workers: *workers}
+	watchDone := make(chan struct{})
+	defer close(watchDone)
 	start := time.Now()
 	rs, err := campaign.Run(expt.Units(selected), campaign.RunOptions{
 		Config:     cfg,
@@ -190,7 +234,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Resume:     *resume,
 		Trials:     expt.Trials(cfg),
 		Progress:   stderr,
+		Interrupt:  watchSignals(stderr, watchDone),
 	})
+	if errors.Is(err, campaign.ErrInterrupted) {
+		fmt.Fprintln(stderr, "experiments:", err)
+		if *checkpoint != "" {
+			fmt.Fprintf(stderr, "experiments: checkpoint %s holds every completed point; rerun with -resume to continue\n", *checkpoint)
+		}
+		return exitInterrupted
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "experiments:", err)
 		return 1

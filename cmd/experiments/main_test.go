@@ -5,7 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
+	"syscall"
 	"testing"
 )
 
@@ -175,6 +177,76 @@ func TestShardMergeResumeRendersIdenticalMarkdown(t *testing.T) {
 		if !ms[k] {
 			t.Errorf("record missing from shard union: %s", k)
 		}
+	}
+}
+
+// TestInterruptExitsDistinctlyAndResumes drives the graceful-shutdown path
+// in-process: a SIGINT delivered to the run stops the campaign between grid
+// points with the distinct interrupted status, the checkpoint keeps only
+// whole records, and a -resume run completes it to the byte-identical
+// uninterrupted stream.
+func TestInterruptExitsDistinctlyAndResumes(t *testing.T) {
+	dir := t.TempDir()
+
+	// Truth: the uninterrupted run's checkpoint.
+	truthCk := filepath.Join(dir, "truth.jsonl")
+	if code, _, errb := cli(t, "-run", "F2,E9", "-seed", "777", "-format", "jsonl",
+		"-checkpoint", truthCk, "-out", filepath.Join(dir, "ignore.jsonl")); code != 0 {
+		t.Fatalf("uninterrupted run exit %d: %s", code, errb)
+	}
+
+	// Interrupted run: the signal is already pending when the watcher
+	// installs, so the engine stops before its first point — determinism
+	// without mid-run timing games.
+	oldNotify := notifySignals
+	notifySignals = func(ch chan<- os.Signal) { ch <- os.Interrupt }
+	ck := filepath.Join(dir, "run.jsonl")
+	code, _, errb := cli(t, "-run", "F2,E9", "-seed", "777", "-format", "jsonl",
+		"-checkpoint", ck, "-out", filepath.Join(dir, "ignore2.jsonl"))
+	notifySignals = oldNotify
+	if code != exitInterrupted {
+		t.Fatalf("interrupted run exit %d, want %d; stderr: %s", code, exitInterrupted, errb)
+	}
+	if !strings.Contains(errb, "interrupted") || !strings.Contains(errb, "rerun with -resume") {
+		t.Errorf("stderr missing interrupt diagnosis and resume hint:\n%s", errb)
+	}
+
+	// Resume completes the run; the final stream equals the uninterrupted one.
+	if code, _, errb := cli(t, "-run", "F2,E9", "-seed", "777", "-format", "jsonl",
+		"-checkpoint", ck, "-resume", "-out", filepath.Join(dir, "ignore3.jsonl")); code != 0 {
+		t.Fatalf("resumed run exit %d: %s", code, errb)
+	}
+	truth, _ := os.ReadFile(truthCk)
+	resumed, _ := os.ReadFile(ck)
+	if string(truth) != string(resumed) {
+		t.Errorf("interrupted-then-resumed checkpoint differs from uninterrupted run")
+	}
+}
+
+// TestSecondSignalHardExits checks the escalation contract: one signal is
+// graceful, a second one calls the hard-exit hook with status 130.
+func TestSecondSignalHardExits(t *testing.T) {
+	oldNotify, oldExit := notifySignals, exitNow
+	defer func() { notifySignals, exitNow = oldNotify, oldExit }()
+
+	notifySignals = func(ch chan<- os.Signal) {
+		ch <- os.Interrupt
+		ch <- syscall.SIGTERM
+	}
+	exited := make(chan int, 1)
+	exitNow = func(code int) { exited <- code; runtime.Goexit() }
+
+	var buf bytes.Buffer
+	done := make(chan struct{})
+	defer close(done)
+	interrupt := watchSignals(&buf, done)
+	<-interrupt // first signal: graceful stop requested
+	if code := <-exited; code != 130 {
+		t.Fatalf("second signal exit %d, want 130", code)
+	}
+	if !strings.Contains(buf.String(), "finishing the in-flight grid point") ||
+		!strings.Contains(buf.String(), "aborting") {
+		t.Errorf("watcher narration incomplete:\n%s", buf.String())
 	}
 }
 

@@ -1,12 +1,15 @@
 package campaign
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"math"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/sweep"
@@ -359,5 +362,180 @@ func TestCompleteDetectsMissingPoints(t *testing.T) {
 	}
 	if !Complete(u, cfg, rs) {
 		t.Fatal("merged shards reported incomplete")
+	}
+}
+
+// TestResumeSurvivesTruncationAtEveryByte is the exhaustive crash-injection
+// sweep: a killed process can leave the checkpoint cut at ANY byte
+// boundary, and resume must rebuild the byte-identical uninterrupted
+// stream from every one of them. Every offset inside the final record is
+// always tested (the satellite requirement); without -short the sweep
+// covers every byte of the whole file.
+func TestResumeSurvivesTruncationAtEveryByte(t *testing.T) {
+	cfg := Config{Seed: 5}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := strings.TrimSuffix(string(full), "\n")
+	finalStart := strings.LastIndex(body, "\n") + 1
+	if finalStart <= 0 || finalStart >= len(full)-1 {
+		t.Fatalf("cannot locate final record (finalStart=%d, len=%d)", finalStart, len(full))
+	}
+
+	from := finalStart
+	if !testing.Short() {
+		from = 0
+	}
+	for cut := from; cut < len(full); cut++ {
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		rs, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: path, Resume: true})
+		if err != nil {
+			t.Fatalf("cut at byte %d: resume failed: %v", cut, err)
+		}
+		if len(rs.Records()) != 6 {
+			t.Fatalf("cut at byte %d: resumed %d records, want 6", cut, len(rs.Records()))
+		}
+		resumed, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(resumed, full) {
+			t.Fatalf("cut at byte %d: resumed checkpoint differs from uninterrupted stream", cut)
+		}
+	}
+}
+
+// TestLoadReportSurfacesToleratedDamage pins the explicit-warning contract:
+// what loading tolerates (torn tail, blank lines) is itemised in the
+// report, never silently absorbed — and what it does not tolerate
+// (corruption of a terminated line) errors with the line and byte offset.
+func TestLoadReportSurfacesToleratedDamage(t *testing.T) {
+	cfg := Config{Seed: 5}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ck.jsonl")
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: path}); err != nil {
+		t.Fatal(err)
+	}
+	full, _ := os.ReadFile(path)
+
+	// Clean file: six records, zero warnings.
+	rs, rep, err := LoadRecordsReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Records != 6 || rep.Warnings() != 0 || len(rs.Records()) != 6 {
+		t.Fatalf("clean report %+v", rep)
+	}
+
+	// Torn tail: counted byte for byte, and repaired away in place.
+	frag := `{"campaign":"T1","point":"torn`
+	if err := os.WriteFile(path, append(append([]byte{}, full...), frag...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err = LoadRecordsReport(path)
+	if err != nil {
+		t.Fatalf("torn tail rejected: %v", err)
+	}
+	if rep.TornTailBytes != int64(len(frag)) || rep.Warnings() != 1 {
+		t.Fatalf("torn report %+v, want %d torn bytes / 1 warning", rep, len(frag))
+	}
+	if _, _, err := RepairCheckpoint(path); err != nil {
+		t.Fatalf("RepairCheckpoint: %v", err)
+	}
+	repaired, _ := os.ReadFile(path)
+	if !bytes.Equal(repaired, full) {
+		t.Errorf("repair did not restore the clean stream")
+	}
+
+	// Blank terminated lines are tolerated but itemised.
+	lines := strings.SplitAfter(string(full), "\n")
+	withBlank := lines[0] + "\n" + strings.Join(lines[1:], "")
+	if err := os.WriteFile(path, []byte(withBlank), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, rep, err = LoadRecordsReport(path)
+	if err != nil {
+		t.Fatalf("blank line rejected: %v", err)
+	}
+	if rep.BlankLines != 1 || rep.Records != 6 || rep.Warnings() != 1 {
+		t.Fatalf("blank-line report %+v", rep)
+	}
+
+	// A corrupt terminated line errors and names where.
+	bad := lines[0] + "{broken}\n" + strings.Join(lines[1:], "")
+	if err := os.WriteFile(path, []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = LoadRecordsReport(path)
+	if err == nil {
+		t.Fatal("corrupt terminated line tolerated")
+	}
+	if !strings.Contains(err.Error(), "line 2") || !strings.Contains(err.Error(), "byte") ||
+		!strings.Contains(err.Error(), "not a torn tail") {
+		t.Errorf("corruption error lacks location diagnostics: %v", err)
+	}
+}
+
+// TestRunInterruptStopsBetweenPoints drives the engine's graceful-shutdown
+// hook: an interrupt raised while a point runs lets that point finish and
+// flush, stops before the next one, and returns ErrInterrupted — leaving a
+// clean prefix a resume completes to the byte-identical full stream.
+func TestRunInterruptStopsBetweenPoints(t *testing.T) {
+	cfg := Config{Seed: 5}
+	dir := t.TempDir()
+	truth := filepath.Join(dir, "truth.jsonl")
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: truth}); err != nil {
+		t.Fatal(err)
+	}
+	fullBytes, _ := os.ReadFile(truth)
+
+	// The campaign itself pulls the trigger after its first point — the
+	// deterministic stand-in for a SIGINT landing mid-run.
+	interrupt := make(chan struct{})
+	var once sync.Once
+	c := testCampaign()
+	inner := c.Run
+	c.Run = func(cfg Config, pt Point, seed uint64) Samples {
+		defer once.Do(func() { close(interrupt) })
+		return inner(cfg, pt, seed)
+	}
+	path := filepath.Join(dir, "ck.jsonl")
+	rs, err := Run([]Unit{{ID: "T1", C: c}}, RunOptions{
+		Config: cfg, Checkpoint: path, Interrupt: interrupt,
+	})
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	if len(rs.Records()) != 1 {
+		t.Fatalf("interrupted run holds %d records, want the 1 finished point", len(rs.Records()))
+	}
+	partial, _ := os.ReadFile(path)
+	if !bytes.HasPrefix(fullBytes, partial) || len(partial) == 0 {
+		t.Fatalf("interrupted checkpoint is not a clean prefix of the full stream")
+	}
+
+	// A pre-raised interrupt stops before any point at all.
+	pre := make(chan struct{})
+	close(pre)
+	rs, err = Run(testUnits(), RunOptions{Config: cfg, Interrupt: pre})
+	if !errors.Is(err, ErrInterrupted) || len(rs.Records()) != 0 {
+		t.Fatalf("pre-raised interrupt: err=%v records=%d, want ErrInterrupted and 0", err, len(rs.Records()))
+	}
+
+	// Resume completes the interrupted checkpoint to the full byte stream.
+	if _, err := Run(testUnits(), RunOptions{Config: cfg, Checkpoint: path, Resume: true}); err != nil {
+		t.Fatalf("resume after interrupt: %v", err)
+	}
+	resumed, _ := os.ReadFile(path)
+	if !bytes.Equal(resumed, fullBytes) {
+		t.Errorf("resumed-after-interrupt checkpoint differs from uninterrupted stream")
 	}
 }

@@ -1,11 +1,19 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"io"
 	"os"
 	"time"
 )
+
+// ErrInterrupted is returned (possibly wrapped) by Run when RunOptions.
+// Interrupt fired: the in-flight point was finished and its record
+// flushed, no further points were started, and the checkpoint is a clean
+// resumable prefix. Callers distinguish it with errors.Is to exit with a
+// distinct status instead of reporting a failure.
+var ErrInterrupted = errors.New("campaign: run interrupted")
 
 // Unit is a campaign with its identity — the ID records and point keys are
 // scoped under (e.g. the experiment ID "E1").
@@ -35,6 +43,13 @@ type RunOptions struct {
 	// Progress, when non-nil, receives one line per point with timing and an
 	// ETA over the remaining points of this run.
 	Progress io.Writer
+	// Interrupt, when non-nil and closed (or sent to), stops the run
+	// cleanly between points: the in-flight point finishes and streams its
+	// record, then Run returns ErrInterrupted with the partial result set.
+	// This is the graceful-shutdown hook — a SIGINT/SIGTERM handler closes
+	// the channel and the checkpoint stays a clean resumable prefix rather
+	// than relying on torn-tail repair.
+	Interrupt <-chan struct{}
 }
 
 // task is one scheduled point.
@@ -87,22 +102,23 @@ func Run(units []Unit, opt RunOptions) (*ResultSet, error) {
 		}
 	}
 	if opt.Resume {
-		var cleanLen int64
+		// RepairCheckpoint drops and truncates a torn tail in place so the
+		// next append starts on a fresh line and a resumed stream stays
+		// byte-identical to an uninterrupted one. Tolerated damage is
+		// surfaced, not absorbed silently; a corrupt terminated line —
+		// mid-file or final — is an error, never "repaired".
+		var rep LoadReport
 		var err error
-		prior, cleanLen, err = loadCheckpoint(opt.Checkpoint)
+		prior, rep, err = RepairCheckpoint(opt.Checkpoint)
 		if err != nil {
 			return nil, err
 		}
-		// Repair a torn tail in place: drop the partial final line so the
-		// next append starts on a fresh line and a resumed stream stays
-		// byte-identical to an uninterrupted one. This must happen whenever
-		// the file exists — even a tear at offset 0 (a run killed mid-append
-		// of its very first record) would otherwise have the next record
-		// appended onto the partial line, corrupting the stream for good.
-		if _, statErr := os.Stat(opt.Checkpoint); statErr == nil {
-			if err := os.Truncate(opt.Checkpoint, cleanLen); err != nil {
-				return nil, fmt.Errorf("campaign: truncate torn checkpoint tail: %w", err)
-			}
+		if opt.Progress != nil && rep.TornTailBytes > 0 {
+			fmt.Fprintf(opt.Progress, "checkpoint %s: dropped torn %d-byte tail (killed mid-append; repairing in place)\n",
+				opt.Checkpoint, rep.TornTailBytes)
+		}
+		if opt.Progress != nil && rep.BlankLines > 0 {
+			fmt.Fprintf(opt.Progress, "checkpoint %s: tolerated %d blank line(s)\n", opt.Checkpoint, rep.BlankLines)
 		}
 	}
 
@@ -134,12 +150,30 @@ func Run(units []Unit, opt RunOptions) (*ResultSet, error) {
 		toRun++
 	}
 
+	interrupted := func() bool {
+		if opt.Interrupt == nil {
+			return false
+		}
+		select {
+		case <-opt.Interrupt:
+			return true
+		default:
+			return false
+		}
+	}
+
 	rs := NewResultSet()
 	done := 0
 	var spent time.Duration
 	for i, t := range tasks {
 		if !inShard(i) {
 			continue
+		}
+		if interrupted() {
+			// Between points by construction: the previous point's record is
+			// already appended and synced, so the checkpoint is a clean
+			// prefix and -resume continues exactly here.
+			return rs, fmt.Errorf("%w after %d point(s)", ErrInterrupted, done)
 		}
 		if r, ok := prior.Lookup(t.unit.ID, t.point.Key); ok && r.matches(t.unit.ID, t.point.Key, opt.Config, opt.Trials) {
 			rs.Add(r)

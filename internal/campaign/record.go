@@ -61,6 +61,15 @@ func (f *NullFloat) UnmarshalJSON(b []byte) error {
 	return nil
 }
 
+// NewRecord packages one completed point into its stream form. It is the
+// exported constructor for executors outside this package's engine — the
+// jobqueue worker builds its completion reports with it — and uses exactly
+// the engine's own encoding, so a record computed remotely is bit-identical
+// to the one an in-process run would have streamed.
+func NewRecord(campaignID string, pt Point, cfg Config, trials int, s Samples) *Record {
+	return newRecord(campaignID, pt, cfg, trials, s)
+}
+
 // newRecord packages one completed point.
 func newRecord(campaignID string, pt Point, cfg Config, trials int, s Samples) *Record {
 	r := &Record{
@@ -229,28 +238,85 @@ func (s *Sink) Append(r *Record) error {
 // Close closes the underlying file.
 func (s *Sink) Close() error { return s.f.Close() }
 
+// LoadReport accounts for every byte of a loaded checkpoint that did NOT
+// become a record, so tolerated damage is surfaced instead of silently
+// absorbed. Only two shapes are ever tolerated: an unterminated final line
+// (the torn tail of a killed append — the one malformation a prefix-only
+// partial write can produce) and newline-terminated blank lines. Any
+// terminated non-blank line that fails to parse was written whole and then
+// corrupted, and loading errors wherever it sits — mid-file corruption
+// must never be mistaken for a benign tear and silently mis-resumed over.
+type LoadReport struct {
+	// Records is the number of well-formed records loaded.
+	Records int
+	// TornTailBytes is the length of the dropped unterminated final line
+	// (0 when the file ends cleanly).
+	TornTailBytes int64
+	// BlankLines counts tolerated newline-terminated blank lines.
+	BlankLines int
+}
+
+// Warnings returns the count of tolerated anomalies (for callers that
+// only want to know whether to warn).
+func (r LoadReport) Warnings() int {
+	n := r.BlankLines
+	if r.TornTailBytes > 0 {
+		n++
+	}
+	return n
+}
+
 // LoadRecords reads a JSONL checkpoint into a result set. A missing file
 // yields an empty set. An unterminated final line — the torn tail of a
-// killed append, the only malformation a prefix-only partial write can
-// produce — is ignored; any line that ends in a newline was written whole,
-// so failing to parse one is corruption and errors wherever it sits.
+// killed append — is dropped; any line that ends in a newline was written
+// whole, so failing to parse one is corruption and errors wherever it
+// sits, mid-file or final. Use LoadRecordsReport to also learn what was
+// tolerated.
 func LoadRecords(path string) (*ResultSet, error) {
-	rs, _, err := loadCheckpoint(path)
+	rs, _, _, err := loadCheckpoint(path)
 	return rs, err
 }
 
-// loadCheckpoint is LoadRecords plus the clean length: the byte offset just
-// past the last well-formed line. A resuming engine truncates the file to
-// that offset before appending, so a torn tail is repaired in place and a
-// resumed stream stays byte-identical to an uninterrupted one.
-func loadCheckpoint(path string) (*ResultSet, int64, error) {
+// LoadRecordsReport is LoadRecords plus an explicit account of tolerated
+// damage (torn tail, blank lines), so callers can warn instead of
+// absorbing it silently.
+func LoadRecordsReport(path string) (*ResultSet, LoadReport, error) {
+	rs, _, rep, err := loadCheckpoint(path)
+	return rs, rep, err
+}
+
+// RepairCheckpoint loads a checkpoint and truncates any torn tail in
+// place, so the next append starts on a fresh line and a resumed stream
+// stays byte-identical to an uninterrupted one. This must happen whenever
+// the file exists — even a tear at offset 0 (a run killed mid-append of
+// its very first record) would otherwise have the next record appended
+// onto the partial line, corrupting the stream for good. The report tells
+// the caller what was repaired.
+func RepairCheckpoint(path string) (*ResultSet, LoadReport, error) {
+	rs, cleanLen, rep, err := loadCheckpoint(path)
+	if err != nil {
+		return nil, rep, err
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		if err := os.Truncate(path, cleanLen); err != nil {
+			return nil, rep, fmt.Errorf("campaign: truncate torn checkpoint tail: %w", err)
+		}
+	}
+	return rs, rep, nil
+}
+
+// loadCheckpoint is LoadRecords plus the clean length — the byte offset
+// just past the last well-formed line, the truncation target of
+// RepairCheckpoint — and the damage report.
+func loadCheckpoint(path string) (*ResultSet, int64, LoadReport, error) {
 	rs := NewResultSet()
+	var rep LoadReport
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return rs, 0, nil
+		return rs, 0, rep, nil
 	}
 	if err != nil {
-		return nil, 0, fmt.Errorf("campaign: open checkpoint: %w", err)
+		return nil, 0, rep, fmt.Errorf("campaign: open checkpoint: %w", err)
 	}
 	defer f.Close()
 
@@ -267,22 +333,28 @@ func loadCheckpoint(path string) (*ResultSet, int64, error) {
 			switch {
 			case text == "":
 				if terminated {
+					rep.BlankLines++
 					cleanLen = offset
+				} else {
+					rep.TornTailBytes = int64(len(chunk))
 				}
 			case !terminated:
 				// The torn tail of a killed append (necessarily the final
 				// chunk), even if it happens to parse: every sink write ends
 				// with a newline, so this line was cut mid-write. Excluded
-				// from the set and from cleanLen; resume truncates it away.
+				// from the set and from cleanLen; RepairCheckpoint truncates
+				// it away.
+				rep.TornTailBytes = int64(len(chunk))
 			default:
 				var r Record
 				if err := json.Unmarshal([]byte(text), &r); err != nil {
-					return nil, 0, fmt.Errorf("campaign: checkpoint %s line %d: %w", path, line, err)
+					return nil, 0, rep, fmt.Errorf("campaign: checkpoint %s line %d (byte %d): corrupt record (not a torn tail — the line is newline-terminated): %w", path, line, offset-int64(len(chunk)), err)
 				}
 				if r.Campaign == "" || r.Point == "" {
-					return nil, 0, fmt.Errorf("campaign: checkpoint %s line %d: record missing campaign/point", path, line)
+					return nil, 0, rep, fmt.Errorf("campaign: checkpoint %s line %d: record missing campaign/point", path, line)
 				}
 				rs.Add(&r)
+				rep.Records++
 				cleanLen = offset
 			}
 		}
@@ -290,8 +362,8 @@ func loadCheckpoint(path string) (*ResultSet, int64, error) {
 			break
 		}
 		if readErr != nil {
-			return nil, 0, fmt.Errorf("campaign: read checkpoint: %w", readErr)
+			return nil, 0, rep, fmt.Errorf("campaign: read checkpoint: %w", readErr)
 		}
 	}
-	return rs, cleanLen, nil
+	return rs, cleanLen, rep, nil
 }

@@ -1,0 +1,189 @@
+package jobqueue
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Client speaks the campaignd HTTP API (see Server for the endpoint map).
+// It is used by the worker loop, by campaignctl, and by tests.
+type Client struct {
+	// Base is the daemon URL, e.g. "http://127.0.0.1:8655".
+	Base string
+	// HTTP is the transport (default: a client with a 30s timeout).
+	HTTP *http.Client
+}
+
+// NewClient builds a client for the daemon at base.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: &http.Client{Timeout: 30 * time.Second}}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do runs one JSON round trip. A nil in sends no body; a nil out discards
+// the response body. 204 yields (false, nil) so callers can distinguish
+// "no content" without an error.
+func (c *Client) do(method, path string, in, out any) (bool, error) {
+	var body io.Reader
+	if in != nil {
+		data, err := json.Marshal(in)
+		if err != nil {
+			return false, err
+		}
+		body = bytes.NewReader(data)
+	}
+	req, err := http.NewRequest(method, c.Base+path, body)
+	if err != nil {
+		return false, err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return false, nil
+	}
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return false, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &e) == nil && e.Error != "" {
+			return false, fmt.Errorf("%s %s: %s", method, path, e.Error)
+		}
+		return false, fmt.Errorf("%s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out != nil {
+		if err := json.Unmarshal(data, out); err != nil {
+			return false, fmt.Errorf("%s %s: decode response: %w", method, path, err)
+		}
+	}
+	return true, nil
+}
+
+// Submit submits a campaign spec and returns its initial status.
+func (c *Client) Submit(spec JobSpec) (*JobStatus, error) {
+	var st JobStatus
+	if _, err := c.do("POST", "/api/v1/campaigns", spec, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Status fetches one job's live status.
+func (c *Client) Status(jobID string) (*JobStatus, error) {
+	var st JobStatus
+	if _, err := c.do("GET", "/api/v1/campaigns/"+jobID, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Jobs lists every job.
+func (c *Client) Jobs() ([]JobStatus, error) {
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if _, err := c.do("GET", "/api/v1/campaigns", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// ManifestOf fetches a job's current failure manifest.
+func (c *Client) ManifestOf(jobID string) (*Manifest, error) {
+	var m Manifest
+	if _, err := c.do("GET", "/api/v1/campaigns/"+jobID+"/manifest", nil, &m); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// Records streams a job's JSONL record file into w.
+func (c *Client) Records(jobID string, w io.Writer) error {
+	resp, err := c.httpClient().Get(c.Base + "/api/v1/campaigns/" + jobID + "/records")
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("GET records: HTTP %d", resp.StatusCode)
+	}
+	_, err = io.Copy(w, resp.Body)
+	return err
+}
+
+// Register announces a worker and returns the daemon's cadences.
+func (c *Client) Register(workerID string) (*RegisterInfo, error) {
+	var info RegisterInfo
+	req := map[string]string{"id": workerID}
+	if _, err := c.do("POST", "/api/v1/workers/register", req, &info); err != nil {
+		return nil, err
+	}
+	return &info, nil
+}
+
+// Heartbeat marks the worker live (and renews its leases).
+func (c *Client) Heartbeat(workerID string) error {
+	req := map[string]string{"id": workerID}
+	_, err := c.do("POST", "/api/v1/workers/heartbeat", req, nil)
+	return err
+}
+
+// Acquire asks for the next lease; (nil, nil) when nothing is runnable.
+func (c *Client) Acquire(workerID string) (*Lease, error) {
+	var l Lease
+	ok, err := c.do("POST", "/api/v1/lease", map[string]string{"worker": workerID}, &l)
+	if err != nil || !ok {
+		return nil, err
+	}
+	return &l, nil
+}
+
+// Complete reports a finished point with its record.
+func (c *Client) Complete(ref LeaseRef, rec *campaign.Record) error {
+	req := struct {
+		Lease  LeaseRef         `json:"lease"`
+		Record *campaign.Record `json:"record"`
+	}{ref, rec}
+	_, err := c.do("POST", "/api/v1/complete", req, nil)
+	return err
+}
+
+// Fail reports a point failure.
+func (c *Client) Fail(ref LeaseRef, msg string) error {
+	req := struct {
+		Lease LeaseRef `json:"lease"`
+		Error string   `json:"error"`
+	}{ref, msg}
+	_, err := c.do("POST", "/api/v1/fail", req, nil)
+	return err
+}
+
+// Healthz checks daemon liveness.
+func (c *Client) Healthz() (*Health, error) {
+	var h Health
+	if _, err := c.do("GET", "/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

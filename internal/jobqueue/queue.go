@@ -1,0 +1,674 @@
+package jobqueue
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// taskState is the lifecycle of one grid point inside a job.
+type taskState int
+
+const (
+	taskPending taskState = iota
+	taskLeased
+	taskDone
+	taskFailed
+)
+
+// qtask is the queue's view of one grid point.
+type qtask struct {
+	ref       PointRef
+	state     taskState
+	attempts  int       // leases granted so far
+	notBefore time.Time // backoff gate while pending
+	lease     *qlease   // current grant while leased
+	lastErr   string
+}
+
+// qlease is an outstanding grant.
+type qlease struct {
+	id       uint64
+	job      *qjob
+	task     *qtask
+	worker   string
+	attempt  int
+	deadline time.Time
+	started  time.Time
+}
+
+// qjob is one submitted campaign.
+type qjob struct {
+	spec     JobSpec
+	trials   int
+	tasks    []*qtask
+	byRef    map[PointRef]*qtask
+	done     int
+	failed   int
+	requeues int
+	retries  int
+	dups     int
+	complete bool
+
+	sink     *campaign.Sink
+	sinkPath string
+	manifest string
+
+	// completion-duration accumulator for the ETA estimate.
+	compDur time.Duration
+	compN   int
+}
+
+// workerInfo tracks one registered (or implicitly seen) worker.
+type workerInfo struct {
+	lastSeen time.Time
+	leases   map[uint64]*qlease
+}
+
+// Queue is the coordination core: jobs, their point tasks, outstanding
+// leases, and worker liveness. All methods are safe for concurrent use.
+type Queue struct {
+	mu      sync.Mutex
+	opts    Options
+	jobs    map[string]*qjob
+	order   []string // submission order, for fair round-robin dispatch
+	rr      int      // last job index served by Acquire
+	workers map[string]*workerInfo
+	leases  map[uint64]*qlease // current grants only
+	nextID  uint64
+	autoJob int
+}
+
+// NewQueue builds a queue rooted at opts.DataDir, applying defaults.
+func NewQueue(opts Options) (*Queue, error) {
+	if opts.DataDir == "" {
+		return nil, fmt.Errorf("jobqueue: Options.DataDir is required")
+	}
+	if opts.Expand == nil {
+		return nil, fmt.Errorf("jobqueue: Options.Expand is required")
+	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 30 * time.Second
+	}
+	if opts.HeartbeatTimeout <= 0 {
+		opts.HeartbeatTimeout = opts.LeaseTTL * 3 / 4
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 4
+	}
+	if opts.BackoffBase <= 0 {
+		opts.BackoffBase = 250 * time.Millisecond
+	}
+	if opts.BackoffMax <= 0 {
+		opts.BackoffMax = 30 * time.Second
+	}
+	if opts.Jitter == nil {
+		opts.Jitter = rand.Float64
+	}
+	if opts.Now == nil {
+		opts.Now = time.Now
+	}
+	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
+		return nil, fmt.Errorf("jobqueue: create data dir: %w", err)
+	}
+	return &Queue{
+		opts:    opts,
+		jobs:    map[string]*qjob{},
+		workers: map[string]*workerInfo{},
+		leases:  map[uint64]*qlease{},
+	}, nil
+}
+
+func (q *Queue) logf(format string, args ...any) {
+	if q.opts.Log != nil {
+		q.opts.Log(format, args...)
+	}
+}
+
+// Submit validates and enqueues a campaign. With spec.Resume, records
+// already present in the job's checkpoint (matching seed, scale and trial
+// count) mark their points done without re-running; otherwise a non-empty
+// checkpoint is refused so prior work is never clobbered silently.
+func (q *Queue) Submit(spec JobSpec) (JobStatus, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if spec.ID == "" {
+		q.autoJob++
+		spec.ID = fmt.Sprintf("job-%03d", q.autoJob)
+	}
+	if err := validateJobID(spec.ID); err != nil {
+		return JobStatus{}, err
+	}
+	if _, dup := q.jobs[spec.ID]; dup {
+		return JobStatus{}, fmt.Errorf("jobqueue: job %q already exists", spec.ID)
+	}
+	points, trials, err := q.opts.Expand(spec)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	if len(points) == 0 {
+		return JobStatus{}, fmt.Errorf("jobqueue: job %q expands to zero grid points", spec.ID)
+	}
+
+	dir := filepath.Join(q.opts.DataDir, spec.ID)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return JobStatus{}, fmt.Errorf("jobqueue: create job dir: %w", err)
+	}
+	j := &qjob{
+		spec:     spec,
+		trials:   trials,
+		byRef:    map[PointRef]*qtask{},
+		sinkPath: filepath.Join(dir, "records.jsonl"),
+		manifest: filepath.Join(dir, "manifest.json"),
+	}
+	for _, ref := range points {
+		if _, dup := j.byRef[ref]; dup {
+			return JobStatus{}, fmt.Errorf("jobqueue: job %q: duplicate point %s/%s", spec.ID, ref.Campaign, ref.Key)
+		}
+		t := &qtask{ref: ref}
+		j.byRef[ref] = t
+		j.tasks = append(j.tasks, t)
+	}
+
+	prior := campaign.NewResultSet()
+	if spec.Resume {
+		rs, rep, err := campaign.RepairCheckpoint(j.sinkPath)
+		if err != nil {
+			return JobStatus{}, fmt.Errorf("jobqueue: resume job %q: %w", spec.ID, err)
+		}
+		if rep.TornTailBytes > 0 {
+			q.logf("job %s: dropped torn %d-byte checkpoint tail on resume", spec.ID, rep.TornTailBytes)
+		}
+		prior = rs
+	} else if st, err := os.Stat(j.sinkPath); err == nil && st.Size() > 0 {
+		return JobStatus{}, fmt.Errorf("jobqueue: job %q checkpoint %s already holds records; submit with resume or remove it", spec.ID, j.sinkPath)
+	}
+	for _, t := range j.tasks {
+		r, ok := prior.Lookup(t.ref.Campaign, t.ref.Key)
+		if ok && recordMatches(r, t.ref, spec, trials) {
+			t.state = taskDone
+			j.done++
+		}
+	}
+
+	sink, err := campaign.OpenSink(j.sinkPath, !spec.Resume)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	j.sink = sink
+	q.jobs[spec.ID] = j
+	q.order = append(q.order, spec.ID)
+	q.maybeFinish(j) // a fully resumed job is complete on arrival
+	q.logf("job %s: submitted, %d points (%d resumed)", spec.ID, len(j.tasks), j.done)
+	return q.status(j, false), nil
+}
+
+// recordMatches is the resume/acceptance criterion: same point identity,
+// seed, scale and trial count (mirrors the campaign engine's resume check).
+func recordMatches(r *campaign.Record, ref PointRef, spec JobSpec, trials int) bool {
+	return r.Campaign == ref.Campaign && r.Point == ref.Key &&
+		r.Seed == spec.Seed && r.Full == spec.Full && r.Trials == trials
+}
+
+// RegisterWorker announces a worker. Registration is advisory — an unknown
+// worker acquiring a lease is registered implicitly — but lets /healthz
+// and the status endpoints report fleet size before any lease is taken.
+func (q *Queue) RegisterWorker(id string) error {
+	if id == "" {
+		return fmt.Errorf("jobqueue: empty worker id")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.touchWorker(id)
+	return nil
+}
+
+func (q *Queue) touchWorker(id string) *workerInfo {
+	w := q.workers[id]
+	if w == nil {
+		w = &workerInfo{leases: map[uint64]*qlease{}}
+		q.workers[id] = w
+	}
+	w.lastSeen = q.opts.Now()
+	return w
+}
+
+// Heartbeat marks the worker live and renews the deadline of every lease
+// it holds.
+func (q *Queue) Heartbeat(workerID string) error {
+	if workerID == "" {
+		return fmt.Errorf("jobqueue: empty worker id")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	w := q.touchWorker(workerID)
+	deadline := w.lastSeen.Add(q.opts.LeaseTTL)
+	for _, l := range w.leases {
+		l.deadline = deadline
+	}
+	return nil
+}
+
+// Acquire grants the next available point to the worker, round-robin
+// across jobs (fair multi-tenancy) and grid-order within a job. Returns
+// (nil, nil) when nothing is currently runnable — all points done, leased
+// out, or waiting out a backoff.
+func (q *Queue) Acquire(workerID string) (*Lease, error) {
+	if workerID == "" {
+		return nil, fmt.Errorf("jobqueue: empty worker id")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	w := q.touchWorker(workerID)
+	now := w.lastSeen
+	for i := 1; i <= len(q.order); i++ {
+		j := q.jobs[q.order[(q.rr+i)%len(q.order)]]
+		if j.complete {
+			continue
+		}
+		for _, t := range j.tasks {
+			if t.state != taskPending || t.notBefore.After(now) {
+				continue
+			}
+			q.rr = (q.rr + i) % len(q.order)
+			t.state = taskLeased
+			t.attempts++
+			q.nextID++
+			l := &qlease{
+				id:       q.nextID,
+				job:      j,
+				task:     t,
+				worker:   workerID,
+				attempt:  t.attempts,
+				deadline: now.Add(q.opts.LeaseTTL),
+				started:  now,
+			}
+			t.lease = l
+			q.leases[l.id] = l
+			w.leases[l.id] = l
+			return &Lease{
+				ID:       l.id,
+				Job:      j.spec.ID,
+				Point:    t.ref,
+				Spec:     j.spec,
+				Trials:   j.trials,
+				Attempt:  l.attempt,
+				Worker:   workerID,
+				Deadline: l.deadline,
+			}, nil
+		}
+	}
+	return nil, nil
+}
+
+// Complete records a finished point. Stale leases are accepted — a worker
+// that lost its lease to expiry but finished anyway delivers a record that
+// is bit-identical by seed purity, and the first valid completion wins.
+// Duplicate completions of an already-done point are discarded and
+// counted. A record that does not match the lease's point and spec
+// consumes an attempt like a reported failure: the worker is evidently not
+// computing what it was asked.
+func (q *Queue) Complete(ref LeaseRef, rec *campaign.Record) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ref.Worker != "" {
+		q.touchWorker(ref.Worker)
+	}
+	j, ok := q.jobs[ref.Job]
+	if !ok {
+		return fmt.Errorf("jobqueue: unknown job %q", ref.Job)
+	}
+	t, ok := j.byRef[ref.Point]
+	if !ok {
+		return fmt.Errorf("jobqueue: job %q has no point %s/%s", ref.Job, ref.Point.Campaign, ref.Point.Key)
+	}
+	if rec == nil {
+		return fmt.Errorf("jobqueue: completion without a record")
+	}
+	if !recordMatches(rec, t.ref, j.spec, j.trials) {
+		// Only the holder of the task's current lease can burn an attempt;
+		// a stale mismatch is simply dropped.
+		if t.lease != nil && t.lease.id == ref.ID {
+			j.retries++
+			q.failLocked(j, t, fmt.Sprintf("record mismatch: got %s/%s seed=%d full=%v trials=%d",
+				rec.Campaign, rec.Point, rec.Seed, rec.Full, rec.Trials))
+		}
+		q.releaseLease(ref.ID)
+		return fmt.Errorf("jobqueue: record does not match lease for %s/%s", ref.Point.Campaign, ref.Point.Key)
+	}
+	if j.complete || t.state == taskDone {
+		j.dups++
+		q.logf("job %s: duplicate completion of %s/%s discarded", j.spec.ID, t.ref.Campaign, t.ref.Key)
+		q.releaseLease(ref.ID)
+		return nil
+	}
+	if l := q.leases[ref.ID]; l != nil && l.task == t {
+		j.compDur += q.opts.Now().Sub(l.started)
+		j.compN++
+	}
+	if t.state == taskFailed {
+		// A straggler delivered the record after the attempt budget wrote
+		// the point off — take it, the hole heals.
+		j.failed--
+		q.logf("job %s: late completion filled failed point %s/%s", j.spec.ID, t.ref.Campaign, t.ref.Key)
+	}
+	q.dropTaskLease(t)
+	q.releaseLease(ref.ID)
+	if err := j.sink.Append(rec); err != nil {
+		// Sink failure is a daemon-side storage problem, not the worker's:
+		// leave the task pending so the record is recomputed and appended
+		// once storage recovers.
+		t.state = taskPending
+		t.notBefore = q.opts.Now().Add(q.backoff(t.attempts))
+		return fmt.Errorf("jobqueue: append record: %w", err)
+	}
+	t.state = taskDone
+	t.lastErr = ""
+	j.done++
+	q.maybeFinish(j)
+	return nil
+}
+
+// Fail records a reported point failure from the task's current lease
+// holder: retry after backoff, or land the point in the failure manifest
+// once the attempt budget is spent. Stale reports (the lease was already
+// requeued or resolved) are ignored.
+func (q *Queue) Fail(ref LeaseRef, msg string) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if ref.Worker != "" {
+		q.touchWorker(ref.Worker)
+	}
+	j, ok := q.jobs[ref.Job]
+	if !ok {
+		return fmt.Errorf("jobqueue: unknown job %q", ref.Job)
+	}
+	t, ok := j.byRef[ref.Point]
+	if !ok {
+		return fmt.Errorf("jobqueue: job %q has no point %s/%s", ref.Job, ref.Point.Campaign, ref.Point.Key)
+	}
+	if t.lease == nil || t.lease.id != ref.ID || t.state != taskLeased {
+		q.releaseLease(ref.ID)
+		return nil // stale: the point moved on without this worker
+	}
+	j.retries++
+	q.failLocked(j, t, msg)
+	q.releaseLease(ref.ID)
+	return nil
+}
+
+// failLocked applies failure bookkeeping to a leased task (caller holds
+// the lock and releases the reporting lease).
+func (q *Queue) failLocked(j *qjob, t *qtask, msg string) {
+	q.dropTaskLease(t)
+	t.lastErr = msg
+	if t.attempts >= q.opts.MaxAttempts {
+		t.state = taskFailed
+		j.failed++
+		q.logf("job %s: point %s/%s exhausted %d attempts: %s", j.spec.ID, t.ref.Campaign, t.ref.Key, t.attempts, msg)
+		q.maybeFinish(j)
+		return
+	}
+	d := q.backoff(t.attempts)
+	t.state = taskPending
+	t.notBefore = q.opts.Now().Add(d)
+	q.logf("job %s: point %s/%s attempt %d failed (%s); retrying in %v", j.spec.ID, t.ref.Campaign, t.ref.Key, t.attempts, msg, d)
+}
+
+// backoff returns the delay before the next grant after `attempts` granted
+// attempts: uniform in [d/2, d) for d = min(base·2^(attempts-1), max).
+func (q *Queue) backoff(attempts int) time.Duration {
+	d := q.opts.BackoffBase
+	for i := 1; i < attempts && d < q.opts.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > q.opts.BackoffMax {
+		d = q.opts.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(q.opts.Jitter()*float64(half))
+}
+
+// dropTaskLease detaches the task's current lease, if any.
+func (q *Queue) dropTaskLease(t *qtask) {
+	if t.lease != nil {
+		q.releaseLease(t.lease.id)
+	}
+}
+
+// releaseLease removes a lease from the queue- and worker-level indices.
+func (q *Queue) releaseLease(id uint64) {
+	l, ok := q.leases[id]
+	if !ok {
+		return
+	}
+	delete(q.leases, id)
+	if w := q.workers[l.worker]; w != nil {
+		delete(w.leases, id)
+	}
+	if l.task.lease == l {
+		l.task.lease = nil
+	}
+}
+
+// Sweep requeues the points of expired leases and of workers that missed
+// their heartbeat window. The daemon calls it on a ticker; tests call it
+// directly against an injected clock. Returns the number of requeued
+// leases.
+func (q *Queue) Sweep() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	now := q.opts.Now()
+	var victims []*qlease
+	for _, l := range q.leases {
+		if now.After(l.deadline) {
+			victims = append(victims, l)
+			continue
+		}
+		if w := q.workers[l.worker]; w != nil && now.Sub(w.lastSeen) > q.opts.HeartbeatTimeout {
+			victims = append(victims, l)
+		}
+	}
+	// Deterministic processing order (map iteration is randomised).
+	sort.Slice(victims, func(i, j int) bool { return victims[i].id < victims[j].id })
+	for _, l := range victims {
+		t, j := l.task, l.job
+		reason := fmt.Sprintf("worker %s missed heartbeat", l.worker)
+		if now.After(l.deadline) {
+			reason = fmt.Sprintf("lease expired (worker %s)", l.worker)
+		}
+		q.releaseLease(l.id)
+		if t.state != taskLeased {
+			continue
+		}
+		j.requeues++
+		t.lastErr = reason
+		if t.attempts >= q.opts.MaxAttempts {
+			t.state = taskFailed
+			j.failed++
+			q.logf("job %s: point %s/%s exhausted %d attempts: %s", j.spec.ID, t.ref.Campaign, t.ref.Key, t.attempts, reason)
+			q.maybeFinish(j)
+			continue
+		}
+		// Requeue immediately: the point is presumed fine, the worker dead.
+		t.state = taskPending
+		t.notBefore = now
+		q.logf("job %s: requeued %s/%s (%s, attempt %d)", j.spec.ID, t.ref.Campaign, t.ref.Key, reason, t.attempts)
+	}
+	return len(victims)
+}
+
+// maybeFinish finalises a job whose every point is done or failed: closes
+// the sink and writes the failure manifest (caller holds the lock).
+func (q *Queue) maybeFinish(j *qjob) {
+	if j.complete || j.done+j.failed < len(j.tasks) {
+		return
+	}
+	j.complete = true
+	if err := j.sink.Close(); err != nil {
+		q.logf("job %s: close sink: %v", j.spec.ID, err)
+	}
+	m := Manifest{Job: j.spec.ID, Spec: j.spec, Total: len(j.tasks), Done: j.done, Failed: j.failed,
+		Failures: j.failures()}
+	if m.Failures == nil {
+		m.Failures = []FailureEntry{}
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err == nil {
+		tmp := j.manifest + ".tmp"
+		if err = os.WriteFile(tmp, append(data, '\n'), 0o644); err == nil {
+			err = os.Rename(tmp, j.manifest)
+		}
+	}
+	if err != nil {
+		q.logf("job %s: write manifest: %v", j.spec.ID, err)
+	}
+	q.logf("job %s: complete (%d done, %d failed)", j.spec.ID, j.done, j.failed)
+}
+
+// failures lists the exhausted points in grid order.
+func (j *qjob) failures() []FailureEntry {
+	var out []FailureEntry
+	for _, t := range j.tasks {
+		if t.state == taskFailed {
+			out = append(out, FailureEntry{Point: t.ref, Attempts: t.attempts, LastErr: t.lastErr})
+		}
+	}
+	return out
+}
+
+// Status reports one job's progress, including outstanding leases and the
+// current failure list.
+func (q *Queue) Status(jobID string) (JobStatus, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[jobID]
+	if !ok {
+		return JobStatus{}, false
+	}
+	return q.status(j, true), true
+}
+
+// Jobs lists every job in submission order (summary form).
+func (q *Queue) Jobs() []JobStatus {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]JobStatus, 0, len(q.order))
+	for _, id := range q.order {
+		out = append(out, q.status(q.jobs[id], false))
+	}
+	return out
+}
+
+// status builds a JobStatus (caller holds the lock).
+func (q *Queue) status(j *qjob, detail bool) JobStatus {
+	s := JobStatus{
+		ID: j.spec.ID, Spec: j.spec, State: "running",
+		Total: len(j.tasks), Done: j.done, Failed: j.failed,
+		Requeues: j.requeues, Retries: j.retries, Duplicates: j.dups,
+		RecordsPath: j.sinkPath,
+	}
+	if j.complete {
+		s.State = "complete"
+	}
+	now := q.opts.Now()
+	for _, t := range j.tasks {
+		switch t.state {
+		case taskPending:
+			s.Pending++
+		case taskLeased:
+			s.Leased++
+			if detail && t.lease != nil {
+				s.Leases = append(s.Leases, LeaseInfo{Point: t.ref, Worker: t.lease.worker,
+					Attempt: t.lease.attempt, Deadline: t.lease.deadline})
+			}
+		}
+	}
+	if detail {
+		s.Failures = j.failures()
+	}
+	if remaining := s.Pending + s.Leased; remaining > 0 && j.compN > 0 {
+		live := 0
+		for _, w := range q.workers {
+			if now.Sub(w.lastSeen) <= q.opts.HeartbeatTimeout {
+				live++
+			}
+		}
+		if live < 1 {
+			live = 1
+		}
+		mean := j.compDur / time.Duration(j.compN)
+		s.ETASeconds = (time.Duration(remaining) * mean / time.Duration(live)).Seconds()
+	}
+	return s
+}
+
+// Healthz summarises daemon liveness for the /healthz endpoint.
+func (q *Queue) Healthz() Health {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	h := Health{Status: "ok", Jobs: len(q.jobs), Workers: len(q.workers)}
+	for _, j := range q.jobs {
+		if !j.complete {
+			h.RunningJobs++
+		}
+	}
+	now := q.opts.Now()
+	for _, w := range q.workers {
+		if now.Sub(w.lastSeen) <= q.opts.HeartbeatTimeout {
+			h.LiveWorkers++
+		}
+	}
+	return h
+}
+
+// RecordsPath returns the job's JSONL checkpoint path.
+func (q *Queue) RecordsPath(jobID string) (string, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[jobID]
+	if !ok {
+		return "", false
+	}
+	return j.sinkPath, true
+}
+
+// ManifestOf returns the job's current (or final) failure manifest.
+func (q *Queue) ManifestOf(jobID string) (Manifest, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[jobID]
+	if !ok {
+		return Manifest{}, false
+	}
+	m := Manifest{Job: j.spec.ID, Spec: j.spec, Total: len(j.tasks), Done: j.done, Failed: j.failed,
+		Failures: j.failures()}
+	if m.Failures == nil {
+		m.Failures = []FailureEntry{}
+	}
+	return m, true
+}
+
+// Close closes every open sink (daemon shutdown). In-flight leases are
+// abandoned; a restarted daemon resubmits with Resume to continue.
+func (q *Queue) Close() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	var first error
+	for _, j := range q.jobs {
+		if !j.complete && j.sink != nil {
+			if err := j.sink.Close(); err != nil && first == nil {
+				first = err
+			}
+			j.complete = true
+		}
+	}
+	return first
+}

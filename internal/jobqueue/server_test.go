@@ -1,0 +1,178 @@
+package jobqueue
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// newTestServer wires a queue behind httptest and returns a client for it.
+func newTestServer(t *testing.T, clk *fakeClock, n int, mutate func(*Options)) (*Client, *Queue) {
+	t.Helper()
+	q := newTestQueue(t, clk, n, mutate)
+	srv := httptest.NewServer(NewServer(q))
+	t.Cleanup(srv.Close)
+	return NewClient(srv.URL), q
+}
+
+func TestServerSubmitStatusRoundTrip(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := newTestServer(t, clk, 2, nil)
+
+	st, err := c.Submit(JobSpec{ID: "web", Experiments: []string{"all"}, Seed: 9})
+	if err != nil {
+		t.Fatalf("Submit: %v", err)
+	}
+	if st.ID != "web" || st.Total != 2 || st.Pending != 2 || st.State != "running" {
+		t.Fatalf("submit status %+v", st)
+	}
+
+	got, err := c.Status("web")
+	if err != nil {
+		t.Fatalf("Status: %v", err)
+	}
+	if got.Total != 2 || got.Spec.Seed != 9 {
+		t.Fatalf("status round trip %+v", got)
+	}
+
+	jobs, err := c.Jobs()
+	if err != nil || len(jobs) != 1 || jobs[0].ID != "web" {
+		t.Fatalf("Jobs = %+v, %v", jobs, err)
+	}
+}
+
+func TestServerWorkerFlow(t *testing.T) {
+	clk := newFakeClock()
+	c, q := newTestServer(t, clk, 1, nil)
+	if _, err := c.Submit(JobSpec{ID: "w", Experiments: []string{"all"}, Seed: 3}); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := c.Register("w1")
+	if err != nil {
+		t.Fatalf("Register: %v", err)
+	}
+	if info.LeaseTTLMS != 10_000 {
+		t.Fatalf("lease TTL %dms, want 10000", info.LeaseTTLMS)
+	}
+	if hb := time.Duration(info.HeartbeatMS) * time.Millisecond; hb <= 0 || hb > 5*time.Second {
+		t.Fatalf("suggested heartbeat %v, want within the 5s timeout window", hb)
+	}
+
+	l, err := c.Acquire("w1")
+	if err != nil || l == nil {
+		t.Fatalf("Acquire: %v, %v", l, err)
+	}
+	if l.Job != "w" || l.Attempt != 1 || l.Trials != 5 {
+		t.Fatalf("lease %+v", l)
+	}
+	if err := c.Heartbeat("w1"); err != nil {
+		t.Fatalf("Heartbeat: %v", err)
+	}
+	if err := c.Complete(l.Ref(), recFor(l)); err != nil {
+		t.Fatalf("Complete: %v", err)
+	}
+
+	// Drained: the lease endpoint answers 204 → (nil, nil).
+	l2, err := c.Acquire("w1")
+	if err != nil || l2 != nil {
+		t.Fatalf("Acquire on drained queue = %+v, %v; want nil, nil", l2, err)
+	}
+
+	st, err := c.Status("w")
+	if err != nil || st.State != "complete" {
+		t.Fatalf("status %+v, %v", st, err)
+	}
+
+	// Records stream verbatim from the sink file.
+	var sb strings.Builder
+	if err := c.Records("w", &sb); err != nil {
+		t.Fatalf("Records: %v", err)
+	}
+	if n := strings.Count(sb.String(), "\n"); n != 1 {
+		t.Fatalf("streamed %d record lines, want 1:\n%s", n, sb.String())
+	}
+	if path, _ := q.RecordsPath("w"); path == "" {
+		t.Fatal("no records path")
+	}
+
+	m, err := c.ManifestOf("w")
+	if err != nil || m.Done != 1 || len(m.Failures) != 0 {
+		t.Fatalf("manifest %+v, %v", m, err)
+	}
+}
+
+func TestServerFailEndpoint(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := newTestServer(t, clk, 1, nil)
+	if _, err := c.Submit(JobSpec{ID: "f", Experiments: []string{"all"}}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := c.Acquire("w1")
+	if err != nil || l == nil {
+		t.Fatal(err)
+	}
+	if err := c.Fail(l.Ref(), "injected"); err != nil {
+		t.Fatalf("Fail: %v", err)
+	}
+	st, err := c.Status("f")
+	if err != nil || st.Retries != 1 {
+		t.Fatalf("status after fail %+v, %v", st, err)
+	}
+}
+
+func TestServerValidationAndNotFound(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := newTestServer(t, clk, 1, nil)
+
+	// Validation errors surface as readable messages, not bare status codes.
+	_, err := c.Submit(JobSpec{ID: "../evil", Experiments: []string{"all"}})
+	if err == nil || !strings.Contains(err.Error(), "invalid job id") {
+		t.Fatalf("bad id error = %v", err)
+	}
+	if _, err := c.Status("nope"); err == nil || !strings.Contains(err.Error(), "unknown campaign") {
+		t.Fatalf("unknown job error = %v", err)
+	}
+	if _, err := c.ManifestOf("nope"); err == nil || !strings.Contains(err.Error(), "unknown campaign") {
+		t.Fatalf("unknown manifest error = %v", err)
+	}
+	if err := c.Records("nope", &strings.Builder{}); err == nil {
+		t.Fatalf("unknown records did not error")
+	}
+	if err := c.Heartbeat(""); err == nil || !strings.Contains(err.Error(), "empty worker id") {
+		t.Fatalf("empty heartbeat id error = %v", err)
+	}
+	if _, err := c.Acquire(""); err == nil || !strings.Contains(err.Error(), "empty worker id") {
+		t.Fatalf("empty acquire id error = %v", err)
+	}
+
+	// Malformed bodies are 400s with a parse error, not 500s.
+	resp, err := http.Post(c.Base+"/api/v1/campaigns", "application/json", strings.NewReader("{not json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed submit: HTTP %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestServerHealthz(t *testing.T) {
+	clk := newFakeClock()
+	c, _ := newTestServer(t, clk, 1, nil)
+	if _, err := c.Submit(JobSpec{ID: "h", Experiments: []string{"all"}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Register("w1"); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Healthz()
+	if err != nil {
+		t.Fatalf("Healthz: %v", err)
+	}
+	if h.Status != "ok" || h.Jobs != 1 || h.RunningJobs != 1 || h.Workers != 1 || h.LiveWorkers != 1 {
+		t.Fatalf("healthz %+v", h)
+	}
+}

@@ -1,0 +1,173 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// Runner executes one leased grid point and returns its record. It must be
+// a pure function of the lease (spec, point, trials): the record of a
+// retried or stolen point has to be bit-identical to its first attempt.
+// exptrun.Runner is the expt-registry implementation.
+type Runner interface {
+	RunPoint(l *Lease) (*campaign.Record, error)
+}
+
+// RunnerFunc adapts a function to the Runner interface.
+type RunnerFunc func(l *Lease) (*campaign.Record, error)
+
+// RunPoint implements Runner.
+func (f RunnerFunc) RunPoint(l *Lease) (*campaign.Record, error) { return f(l) }
+
+// ErrChaosKill is returned by RunWorker when the kill-after-points chaos
+// trigger fired: the worker abandoned a held lease without reporting —
+// indistinguishable, from the daemon's side, from a SIGKILL mid-point.
+var ErrChaosKill = errors.New("jobqueue: chaos kill triggered")
+
+// WorkerOptions configures one worker loop.
+type WorkerOptions struct {
+	// ID names the worker to the daemon (required).
+	ID string
+	// Poll is the idle wait between lease requests when nothing was
+	// runnable (default 500ms).
+	Poll time.Duration
+	// Heartbeat is the liveness cadence; 0 adopts the daemon's suggestion
+	// from registration.
+	Heartbeat time.Duration
+	// ChaosKillAtLease <= 0 disables chaos (the zero value is safe). At
+	// N >= 1 the worker completes N-1 points normally, acquires its Nth
+	// lease, and dies abruptly holding it: no completion, no failure
+	// report, no more heartbeats. The lease must be recovered by the
+	// daemon's expiry/heartbeat machinery — this is the fault-injection
+	// hook the chaos tests and the CI smoke job drive. (The campaignworker
+	// flag -chaos.kill-after-points N maps to ChaosKillAtLease N+1.)
+	ChaosKillAtLease int
+	// ChaosLatency sleeps this long before reporting each completion
+	// (straggler simulation; also widens the window for lease theft).
+	ChaosLatency time.Duration
+	// Log, when non-nil, receives one line per worker event.
+	Log io.Writer
+}
+
+// RunWorker runs the acquire→run→report loop against a daemon until ctx is
+// cancelled (graceful: the in-flight point finishes and reports first) or
+// chaos kills it. Registration and transient RPC errors are retried — a
+// worker outliving a daemon restart just keeps polling.
+func RunWorker(ctx context.Context, c *Client, r Runner, o WorkerOptions) error {
+	if o.ID == "" {
+		return fmt.Errorf("jobqueue: WorkerOptions.ID is required")
+	}
+	if o.Poll <= 0 {
+		o.Poll = 500 * time.Millisecond
+	}
+	logf := func(format string, args ...any) {
+		if o.Log != nil {
+			fmt.Fprintf(o.Log, "worker %s: "+format+"\n", append([]any{o.ID}, args...)...)
+		}
+	}
+
+	// Register, retrying while the daemon comes up.
+	var info *RegisterInfo
+	for {
+		var err error
+		info, err = c.Register(o.ID)
+		if err == nil {
+			break
+		}
+		logf("register: %v (retrying)", err)
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(o.Poll):
+		}
+	}
+	hb := o.Heartbeat
+	if hb <= 0 {
+		hb = time.Duration(info.HeartbeatMS) * time.Millisecond
+	}
+	if hb <= 0 {
+		hb = 2 * time.Second
+	}
+
+	// Heartbeats run for the worker's whole life, covering long points.
+	// They stop the instant the loop returns — a chaos kill goes silent.
+	hbCtx, stopHB := context.WithCancel(ctx)
+	defer stopHB()
+	go func() {
+		t := time.NewTicker(hb)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-t.C:
+				if err := c.Heartbeat(o.ID); err != nil {
+					logf("heartbeat: %v", err)
+				}
+			}
+		}
+	}()
+
+	completed, acquired := 0, 0
+	for {
+		select {
+		case <-ctx.Done():
+			logf("shutting down after %d point(s)", completed)
+			return nil
+		default:
+		}
+		lease, err := c.Acquire(o.ID)
+		if err != nil {
+			logf("acquire: %v (retrying)", err)
+			if !sleepCtx(ctx, o.Poll) {
+				return nil
+			}
+			continue
+		}
+		if lease == nil {
+			if !sleepCtx(ctx, o.Poll) {
+				return nil
+			}
+			continue
+		}
+		acquired++
+		if o.ChaosKillAtLease > 0 && acquired >= o.ChaosKillAtLease {
+			logf("CHAOS: dying with lease %d (%s/%s) unreported", lease.ID, lease.Point.Campaign, lease.Point.Key)
+			return ErrChaosKill
+		}
+		logf("lease %d: %s/%s attempt %d", lease.ID, lease.Point.Campaign, lease.Point.Key, lease.Attempt)
+		rec, err := r.RunPoint(lease)
+		if o.ChaosLatency > 0 {
+			time.Sleep(o.ChaosLatency)
+		}
+		if err != nil {
+			logf("point %s/%s failed: %v", lease.Point.Campaign, lease.Point.Key, err)
+			if ferr := c.Fail(lease.Ref(), err.Error()); ferr != nil {
+				logf("fail report: %v", ferr)
+			}
+			continue
+		}
+		if cerr := c.Complete(lease.Ref(), rec); cerr != nil {
+			// The daemon refused (e.g. record mismatch) or is unreachable;
+			// either way the lease machinery decides the point's fate.
+			logf("complete report: %v", cerr)
+			continue
+		}
+		completed++
+	}
+}
+
+// sleepCtx waits d or until ctx cancels; false means cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	select {
+	case <-ctx.Done():
+		return false
+	case <-time.After(d):
+		return true
+	}
+}

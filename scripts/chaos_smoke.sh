@@ -1,0 +1,119 @@
+#!/usr/bin/env bash
+# Fault-injection smoke for the campaign service: a real campaignd process,
+# two real campaignworker processes, one of which is chaos-killed while it
+# holds a lease (it dies abruptly: no report, no more heartbeats). The
+# daemon must detect the loss, requeue the point, and finish the campaign
+# with zero holes — and the merged record stream must be byte-identical
+# (modulo ordering) to an unsharded single-process `cmd/experiments` run of
+# the same experiments and seed. This is the end-to-end proof that worker
+# death cannot corrupt, duplicate, or perturb a single record.
+#
+#   scripts/chaos_smoke.sh [workdir]
+#
+# Everything (binaries, checkpoints, logs) lands in workdir (default: a
+# fresh mktemp -d). Exits non-zero on any divergence; daemon and worker
+# logs are printed on failure for post-mortem.
+set -euo pipefail
+
+EXPERIMENTS="F1,F2,E9"
+SEED=777
+
+work="${1:-$(mktemp -d)}"
+mkdir -p "${work}"
+echo "chaos smoke: working in ${work}"
+
+cleanup() {
+  # Best-effort teardown; the chaos worker is usually dead already.
+  kill "${daemon_pid:-}" "${w1_pid:-}" "${w2_pid:-}" 2>/dev/null || true
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT
+
+die() {
+  echo "chaos smoke: FAIL: $*" >&2
+  echo "--- campaignd log ---" >&2;   cat "${work}/campaignd.log" >&2 || true
+  echo "--- worker-1 log ---" >&2;    cat "${work}/worker1.log" >&2 || true
+  echo "--- worker-2 log ---" >&2;    cat "${work}/worker2.log" >&2 || true
+  exit 1
+}
+
+echo "chaos smoke: building binaries"
+go build -o "${work}/experiments" ./cmd/experiments
+go build -o "${work}/campaignd" ./cmd/campaignd
+go build -o "${work}/campaignworker" ./cmd/campaignworker
+go build -o "${work}/campaignctl" ./cmd/campaignctl
+
+echo "chaos smoke: computing single-process truth"
+"${work}/experiments" -run "${EXPERIMENTS}" -seed "${SEED}" -format jsonl \
+  -checkpoint "${work}/truth.jsonl" -out /dev/null 2>"${work}/truth.log" \
+  || die "single-process truth run failed"
+
+echo "chaos smoke: starting campaignd"
+"${work}/campaignd" -addr 127.0.0.1:0 -addr-file "${work}/addr" \
+  -data "${work}/data" -lease 5s -heartbeat-timeout 3s -sweep 250ms \
+  2>"${work}/campaignd.log" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "${work}/addr" ]] && break
+  kill -0 "${daemon_pid}" 2>/dev/null || die "campaignd died on startup"
+  sleep 0.1
+done
+[[ -s "${work}/addr" ]] || die "campaignd never wrote its address"
+daemon="http://$(cat "${work}/addr")"
+echo "chaos smoke: daemon at ${daemon}"
+
+echo "chaos smoke: submitting campaign"
+"${work}/campaignctl" -daemon "${daemon}" submit -id smoke \
+  -experiments "${EXPERIMENTS}" -seed "${SEED}" >"${work}/submit.json" \
+  || die "submit failed"
+
+# The victim runs ALONE first so the kill is deterministic — with a rival
+# worker on a fast grid the queue can drain before the victim ever gets a
+# lease, and the chaos trigger would never fire. Solo, it completes one
+# point, acquires a second lease, and dies holding it — indistinguishable
+# from SIGKILL mid-simulation.
+echo "chaos smoke: starting victim worker"
+"${work}/campaignworker" -daemon "${daemon}" -id victim -poll 100ms \
+  -chaos.kill-after-points 1 2>"${work}/worker1.log" &
+w1_pid=$!
+for _ in $(seq 1 300); do
+  kill -0 "${w1_pid}" 2>/dev/null || break
+  sleep 0.1
+done
+kill -0 "${w1_pid}" 2>/dev/null && die "victim still alive after 30s, chaos never fired"
+# The victim must have died of chaos (exit 3) — otherwise this run proved
+# nothing about fault recovery.
+set +e
+wait "${w1_pid}"; w1_code=$?
+set -e
+[[ ${w1_code} -eq 3 ]] || die "victim exited ${w1_code}, want chaos exit 3"
+echo "chaos smoke: victim died holding a lease"
+
+# Worker 2 must absorb everything the victim dropped, requeued lease
+# included, and finish the campaign with zero holes.
+"${work}/campaignworker" -daemon "${daemon}" -id survivor -poll 100ms \
+  2>"${work}/worker2.log" &
+w2_pid=$!
+
+echo "chaos smoke: waiting for completion"
+if ! "${work}/campaignctl" -daemon "${daemon}" wait -timeout 5m -poll 1s smoke \
+  2>"${work}/wait.log"; then
+  code=$?
+  [[ ${code} -eq 4 ]] && die "campaign completed DEGRADED (holes in the manifest)"
+  die "campaignctl wait exited ${code}"
+fi
+
+grep -q "requeued" "${work}/campaignd.log" \
+  || die "daemon never requeued the victim's abandoned lease"
+
+echo "chaos smoke: fetching merged records"
+"${work}/campaignctl" -daemon "${daemon}" records smoke >"${work}/merged.jsonl" \
+  || die "records fetch failed"
+
+sort "${work}/truth.jsonl" >"${work}/truth.sorted"
+sort "${work}/merged.jsonl" >"${work}/merged.sorted"
+diff -u "${work}/truth.sorted" "${work}/merged.sorted" \
+  || die "merged records differ from the single-process run"
+
+n=$(wc -l <"${work}/truth.jsonl")
+echo "chaos smoke: PASS — ${n} records identical across worker death"
