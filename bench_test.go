@@ -503,3 +503,75 @@ func BenchmarkPrimitiveEnergyRound262144(b *testing.B) {
 	sess.Run(g, radio.Options{MaxRounds: b.N,
 		Energy: &energy.Spec{Model: energy.CC2420(), Budget: 1e12}})
 }
+
+// --- implicit-topology benchmarks: the generate-free graph.Implicit
+// backend on the same workloads as the materialized trajectory points, plus
+// the planet-scale acceptance run that cannot exist materialized.
+
+// BenchmarkPrimitiveAlgorithm1RunImplicit1048576 is the implicit twin of
+// the million-node acceptance workload: the same n and p as
+// BenchmarkPrimitiveAlgorithm1Run1048576, but every neighbourhood is
+// re-derived per delivery from (seed, node) instead of read from CSR — the
+// per-op delta against the materialized benchmark is the price of
+// generate-free adjacency.
+func BenchmarkPrimitiveAlgorithm1RunImplicit1048576(b *testing.B) {
+	n := 1 << 20
+	p := 2 * math.Log(float64(n)) / float64(n)
+	g := graph.NewImplicitGNP(n, p, 1)
+	sc := radio.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		radio.RunBroadcastWith(sc, g, 0, core.NewAlgorithm1(p), rng.New(uint64(i)),
+			radio.Options{MaxRounds: 10000})
+	}
+}
+
+// BenchmarkPrimitiveImplicitRound262144 is the steady-state round cost of
+// the implicit backend under the alloc gate: a warm session repeatedly
+// running a fixed 4k-transmitter pulse against implicit G(n,p) rows. The
+// reusable row buffer amortises to 0 allocs/op — the engine's
+// allocation-free round contract extends to generate-free adjacency.
+func BenchmarkPrimitiveImplicitRound262144(b *testing.B) {
+	n := 262144
+	p := 2 * math.Log(float64(n)) / float64(n)
+	g := graph.NewImplicitGNP(n, p, 1)
+	txs := make([]graph.NodeID, 0, n/64)
+	for v := 0; v < n; v += 64 {
+		txs = append(txs, graph.NodeID(v))
+	}
+	sess := radio.NewBroadcastSession(n, 0, &pulseSet{txs: txs}, rng.New(18))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sess.Run(g, radio.Options{MaxRounds: b.N})
+}
+
+// BenchmarkPrimitiveAlgorithm1Run100M is the planet-scale acceptance
+// workload of the implicit backend: one complete Algorithm 1 broadcast on a
+// 10^8-node generate-free G(n, 8·ln n/n). The ~1.8·10^9 directed edges are
+// never stored — every row is an RNG stream — so the run fits in the O(n)
+// session footprint that scripts/mem_gate.sh pins. Skipped under -short:
+// the PR bench gate runs short (scripts/bench.sh BENCH_FILTER=short), the
+// nightly experiments-full leg and the committed BENCH trajectory run it
+// in full.
+func BenchmarkPrimitiveAlgorithm1Run100M(b *testing.B) {
+	if testing.Short() {
+		b.Skip("planet-scale run is nightly-only (BENCH_FILTER=full)")
+	}
+	n := 100_000_000
+	p := 8 * math.Log(float64(n)) / float64(n)
+	g := graph.NewImplicitGNP(n, p, 1)
+	sc := radio.NewScratch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var res *radio.Result
+	for i := 0; i < b.N; i++ {
+		res = radio.RunBroadcastWith(sc, g, 0, core.NewAlgorithm1(p), rng.New(uint64(i)),
+			radio.Options{MaxRounds: 100000})
+	}
+	b.StopTimer()
+	if !res.Completed() {
+		b.Fatalf("planet-scale broadcast reached only %d of %d nodes", res.Informed, n)
+	}
+	b.ReportMetric(float64(res.TotalTx)/float64(n), "tx/node")
+}

@@ -66,15 +66,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fs := flag.NewFlagSet("submit", flag.ContinueOnError)
 		fs.SetOutput(stderr)
 		var (
-			expts   = fs.String("experiments", "all", "comma-separated experiment IDs, or \"all\"")
-			full    = fs.Bool("full", false, "paper-faithful scale (default: reduced)")
-			seed    = fs.Uint64("seed", 1, "base seed; every point seed derives from it")
-			workers = fs.Int("workers", 0, "per-point simulation parallelism hint (0 = worker default)")
-			id      = fs.String("id", "", "job ID (default: daemon-assigned)")
-			resume  = fs.Bool("resume", false, "resume into this job's existing checkpoint namespace")
+			expts    = fs.String("experiments", "all", "comma-separated experiment IDs, or \"all\"")
+			full     = fs.Bool("full", false, "paper-faithful scale (default: reduced)")
+			seed     = fs.Uint64("seed", 1, "base seed; every point seed derives from it")
+			workers  = fs.Int("workers", 0, "per-point simulation parallelism hint (0 = worker default)")
+			id       = fs.String("id", "", "job ID (default: daemon-assigned)")
+			resume   = fs.Bool("resume", false, "resume into this job's existing checkpoint namespace")
+			implicit = fs.Bool("implicit", false, "restrict graph-representation axes to implicit (generate-free) points")
 		)
 		if err := fs.Parse(rest); err != nil {
 			return 2
+		}
+		mode := ""
+		if *implicit {
+			mode = "implicit"
 		}
 		st, err := c.Submit(jobqueue.JobSpec{
 			ID:          *id,
@@ -82,6 +87,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Full:        *full,
 			Seed:        *seed,
 			Workers:     *workers,
+			GraphMode:   mode,
 			Resume:      *resume,
 		})
 		if err != nil {

@@ -117,6 +117,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		runIDs     = fs.String("run", "", "comma-separated experiment ids to run")
 		all        = fs.Bool("all", false, "run every experiment")
 		full       = fs.Bool("full", false, "paper-scale grids (slower)")
+		implicit   = fs.Bool("implicit", false, "restrict graph-representation axes to implicit (generate-free) points")
 		seed       = fs.Uint64("seed", 2009, "base seed (default: year of the TCS version)")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		out        = fs.String("out", "", "write output to this file instead of stdout")
@@ -223,6 +224,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := expt.Config{Full: *full, Seed: *seed, Workers: *workers}
+	if *implicit {
+		cfg.GraphMode = "implicit"
+	}
 	watchDone := make(chan struct{})
 	defer close(watchDone)
 	start := time.Now()

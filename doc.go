@@ -88,4 +88,19 @@
 // configuration (radio.SetEngineOverrides) is pinned bit-identical on
 // informed trajectory, per-node transmissions, rounds and energy. See
 // README.md ("The sparse round engine").
+//
+// The engine also runs on implicit topologies: graph.Implicit is the
+// generate-free graph interface (deterministic per-(seed,node) row
+// enumeration, strictly increasing and bit-stable), with two backends —
+// implicit G(n,p) whose rows are geometric-skip RNG streams (O(1)
+// construction, O(n) run footprint; graph.ImplicitGNP.CheapIn reports
+// whether the lazy in-index exists, and adaptive runs stay push-only
+// until it does) and implicit RGG/UDG re-deriving neighbourhoods from a
+// coordinates-only cell grid (graph.ImplicitGeom). Both are pinned
+// edge-identical to their materialized twins and bit-identical through
+// the engine under every forcing; the S1 experiment carries the
+// representation axis (Config.GraphMode, cmd/experiments -implicit), the
+// 10^8-node trajectory point is BenchmarkPrimitiveAlgorithm1Run100M, and
+// scripts/mem_gate.sh pins the O(n) heap ceiling. See README.md
+// ("Implicit topologies").
 package repro

@@ -40,6 +40,14 @@ type Config struct {
 	Seed uint64
 	// Workers bounds harness parallelism (0 = GOMAXPROCS).
 	Workers int
+	// GraphMode restricts graph-representation axes in campaigns that carry
+	// one (the implicit-topology battery): "" enumerates every
+	// representation, "csr" only materialized points, "implicit" only
+	// generate-free points — the setting that lets planet-scale grids run on
+	// small workers. Campaigns without a representation axis ignore it.
+	// Point keys embed the representation, so records from different modes
+	// never collide and resume works across mode changes.
+	GraphMode string
 }
 
 // Samples is the result of one grid point: per-metric sample vectors,

@@ -68,6 +68,7 @@ type State struct {
 
 	bfsSeen  []bool
 	bfsQueue []graph.NodeID
+	bfsRow   []graph.NodeID // out-row buffer for implicit graphs
 }
 
 // NewState returns an empty state; Start sizes it.
@@ -341,10 +342,11 @@ func (st *State) AdvanceIdle(fromSession, toSession int) (deaths int) {
 // reachable component on g and records the partition round if not. Call
 // after a round that had deaths; no-ops once recorded or when fewer than
 // two nodes remain.
-func (st *State) CheckPartition(g *graph.Digraph, sessionRound int) {
+func (st *State) CheckPartition(g graph.Implicit, sessionRound int) {
 	if !st.trackPartition || st.partition >= 0 || st.n-st.dead < 2 {
 		return
 	}
+	dg, _ := g.(*graph.Digraph)
 	seen := st.bfsSeen[:st.n]
 	clear(seen)
 	var root graph.NodeID = -1
@@ -361,7 +363,14 @@ func (st *State) CheckPartition(g *graph.Digraph, sessionRound int) {
 	for len(queue) > 0 {
 		u := queue[len(queue)-1]
 		queue = queue[:len(queue)-1]
-		for _, w := range g.Out(u) {
+		var row []graph.NodeID
+		if dg != nil {
+			row = dg.Out(u)
+		} else {
+			st.bfsRow = g.AppendOut(u, st.bfsRow[:0])
+			row = st.bfsRow
+		}
+		for _, w := range row {
 			if !seen[w] && st.status[w] != statusDead {
 				seen[w] = true
 				reached++

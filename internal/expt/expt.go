@@ -85,7 +85,7 @@ func register(e Experiment) {
 
 // All returns every registered experiment sorted by ID (figures first, then
 // theorem experiments, then extensions, then the geometric battery, then the
-// network-lifetime battery).
+// network-lifetime battery, then the scale battery).
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
@@ -101,14 +101,14 @@ func Units(es []Experiment) []campaign.Unit {
 	return out
 }
 
-// idLess orders F* before E* before X* before G* before N*, numerically
-// within a class. Unknown or empty IDs sort last, lexically.
+// idLess orders F* before E* before X* before G* before N* before S*,
+// numerically within a class. Unknown or empty IDs sort last, lexically.
 func idLess(a, b string) bool {
 	rank := func(id string) (int, int) {
 		if id == "" {
-			return 6, 0
+			return 7, 0
 		}
-		class := 5
+		class := 6
 		switch id[0] {
 		case 'F':
 			class = 0
@@ -120,6 +120,8 @@ func idLess(a, b string) bool {
 			class = 3
 		case 'N':
 			class = 4
+		case 'S':
+			class = 5
 		}
 		num := 0
 		fmt.Sscanf(id[1:], "%d", &num)

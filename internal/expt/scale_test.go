@@ -1,0 +1,86 @@
+package expt
+
+import "testing"
+
+// TestS1ImplicitMatchesCSR runs the reduced S1 grid and asserts the render
+// itself witnesses representation equivalence: every implicit row must
+// report "identical" against its materialized twin, and every row must
+// reach the whole network.
+func TestS1ImplicitMatchesCSR(t *testing.T) {
+	tb := runByID(t, "S1")[0]
+	vsCol := colIndex(t, tb, "vs csr")
+	graphCol := colIndex(t, tb, "graph")
+	succCol := colIndex(t, tb, "success")
+	implicitRows := 0
+	for i, row := range tb.Rows {
+		if cellF(t, tb, i, succCol) != 1 {
+			t.Errorf("row %v: success %v, want 1", row, row[succCol])
+		}
+		if row[graphCol] != "implicit" {
+			continue
+		}
+		implicitRows++
+		if row[vsCol] != "identical" {
+			t.Errorf("row %v: implicit diverged from csr", row)
+		}
+	}
+	if implicitRows == 0 {
+		t.Fatalf("S1 table has no implicit rows: %v", tb.Rows)
+	}
+}
+
+// TestS1GraphModeFiltersGrid pins the representation filter: a -implicit
+// (or csr-only) config must enumerate exactly the matching half of the
+// grid, with keys drawn from the unfiltered enumeration so merged
+// checkpoints resume cleanly.
+func TestS1GraphModeFiltersGrid(t *testing.T) {
+	e, ok := ByID("S1")
+	if !ok {
+		t.Fatal("S1 not registered")
+	}
+	baseKeys := map[string]bool{}
+	for _, pt := range e.Campaign.Points(Config{Full: false, Seed: 1}) {
+		baseKeys[pt.Key] = true
+	}
+	for _, mode := range []string{"csr", "implicit"} {
+		pts := e.Campaign.Points(Config{Full: false, Seed: 1, GraphMode: mode})
+		if len(pts)*2 != len(baseKeys) {
+			t.Fatalf("GraphMode=%s: %d points, want half of %d", mode, len(pts), len(baseKeys))
+		}
+		for _, pt := range pts {
+			if !baseKeys[pt.Key] {
+				t.Errorf("GraphMode=%s point %q not in the unfiltered grid", mode, pt.Key)
+			}
+			if pt.Params["graph"] != mode {
+				t.Errorf("GraphMode=%s enumerated %q", mode, pt.Key)
+			}
+		}
+	}
+}
+
+// TestS1PlanetLegEnumeration pins when the generate-free planet-scale
+// point appears: only the full-scale implicit grid carries it, so neither
+// reduced CI runs nor materialized full runs ever try to build its CSR.
+func TestS1PlanetLegEnumeration(t *testing.T) {
+	e, _ := ByID("S1")
+	has := func(cfg Config) bool {
+		for _, pt := range e.Campaign.Points(cfg) {
+			if pt.Data.(s1Point).n >= s1PlanetN {
+				return true
+			}
+		}
+		return false
+	}
+	if has(Config{Full: false, Seed: 1, GraphMode: "implicit"}) {
+		t.Error("reduced grid enumerates the planet leg")
+	}
+	if has(Config{Full: true, Seed: 1}) {
+		t.Error("unfiltered full grid enumerates the planet leg (it would materialize elsewhere)")
+	}
+	if has(Config{Full: true, Seed: 1, GraphMode: "csr"}) {
+		t.Error("csr full grid enumerates the planet leg")
+	}
+	if !has(Config{Full: true, Seed: 1, GraphMode: "implicit"}) {
+		t.Error("full implicit grid is missing the planet leg")
+	}
+}

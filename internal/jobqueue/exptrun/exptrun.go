@@ -21,9 +21,10 @@ import (
 	"repro/internal/jobqueue"
 )
 
-// config maps the wire spec onto the engine config.
+// config maps the wire spec onto the engine config. GraphMode rides along
+// so daemon-side Expand and worker-side RunPoint enumerate the same grid.
 func config(spec jobqueue.JobSpec) campaign.Config {
-	return campaign.Config{Full: spec.Full, Seed: spec.Seed, Workers: spec.Workers}
+	return campaign.Config{Full: spec.Full, Seed: spec.Seed, Workers: spec.Workers, GraphMode: spec.GraphMode}
 }
 
 // select resolves the spec's experiment list against the registry:

@@ -59,6 +59,10 @@ type JobSpec struct {
 	// Workers bounds per-point trial parallelism on the worker that runs the
 	// point (campaign.Config.Workers; 0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// GraphMode restricts graph-representation axes (campaign.Config
+	// .GraphMode): "", "csr", or "implicit". "implicit" lets campaignd
+	// dispatch planet-scale generate-free points to small workers.
+	GraphMode string `json:"graph_mode,omitempty"`
 	// Resume continues a previous job with the same ID: points whose records
 	// already sit in the job's checkpoint are marked done without re-running.
 	// Without Resume, submitting over a non-empty checkpoint is refused.

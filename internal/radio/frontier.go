@@ -27,6 +27,7 @@ type frontierState struct {
 	list   []graph.NodeID // uninformed nodes, ascending id order
 	ok     bool           // list is in sync with the session's informed set
 	out    []graph.NodeID // delivered-output scratch, reused across rounds
+	row    []graph.NodeID // in-row buffer for implicit graphs
 }
 
 func newFrontierState(n int) *frontierState {
@@ -90,14 +91,22 @@ func (f *frontierState) sync(informed Bitset, n int) {
 // the finally-delivered nodes (after jamming and battery filters) with
 // remove, so a vetoed reception stays on the frontier. The returned slice
 // is scratch, valid until the next deliver call.
-func (f *frontierState) deliver(g *graph.Digraph, transmitters []graph.NodeID) (delivered []graph.NodeID, collisions int) {
+func (f *frontierState) deliver(g graph.Implicit, transmitters []graph.NodeID) (delivered []graph.NodeID, collisions int) {
+	dg, _ := g.(*graph.Digraph)
 	for _, u := range transmitters {
 		f.txMark.Set(u)
 	}
 	delivered = f.out[:0]
 	for _, v := range f.list {
+		var in []graph.NodeID
+		if dg != nil {
+			in = dg.In(v)
+		} else {
+			f.row = g.AppendIn(v, f.row[:0])
+			in = f.row
+		}
 		hits := 0
-		for _, u := range g.In(v) {
+		for _, u := range in {
 			if f.txMark.Get(u) {
 				hits++
 				if hits == 2 {
@@ -143,9 +152,16 @@ func (f *frontierState) remove(delivered []graph.NodeID) {
 // uninformedInSum returns Σ InDegree(v) over the uninformed nodes — the
 // pull kernel's per-round cost estimate, recomputed per Run segment (the
 // graph may change between segments) and maintained incrementally by the
-// engine as nodes are informed.
-func uninformedInSum(g *graph.Digraph, informed Bitset) int64 {
+// engine as nodes are informed. The engine only calls it when g.CheapIn()
+// holds (in-degrees cost O(row) or better).
+func uninformedInSum(g graph.Implicit, informed Bitset) int64 {
 	var sum int64
+	if dg, ok := g.(*graph.Digraph); ok {
+		forEachUninformed(informed, dg.N(), func(v graph.NodeID) {
+			sum += int64(dg.InDegree(v))
+		})
+		return sum
+	}
 	forEachUninformed(informed, g.N(), func(v graph.NodeID) {
 		sum += int64(g.InDegree(v))
 	})
@@ -153,10 +169,18 @@ func uninformedInSum(g *graph.Digraph, informed Bitset) int64 {
 }
 
 // outDegSum returns Σ OutDegree(u) over the transmitter set — the push
-// kernel's exact per-round cost, computable in O(|tx|) from the CSR
-// offsets.
-func outDegSum(g *graph.Digraph, txs []graph.NodeID) int64 {
+// kernel's exact per-round cost. O(|tx|) from the CSR offsets on a
+// materialized graph; implicit graphs pay a row enumeration per
+// transmitter, which is why the engine consults it only when the pull side
+// is a live alternative (trackUnin).
+func outDegSum(g graph.Implicit, txs []graph.NodeID) int64 {
 	var sum int64
+	if dg, ok := g.(*graph.Digraph); ok {
+		for _, u := range txs {
+			sum += int64(dg.OutDegree(u))
+		}
+		return sum
+	}
 	for _, u := range txs {
 		sum += int64(g.OutDegree(u))
 	}

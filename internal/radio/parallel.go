@@ -38,6 +38,7 @@ type parallelDeliverer struct {
 	hits    []int32
 	st      deliveryState      // serial fallback for small rounds
 	buckets [][][]graph.NodeID // [worker][shard] hit receivers
+	rows    [][]graph.NodeID   // per-worker row buffers for implicit graphs
 	touched [][]graph.NodeID   // per-shard first-touch lists
 	outD    [][]graph.NodeID   // per-shard delivered lists
 	colls   []int              // per-shard collision counts
@@ -60,6 +61,7 @@ func newParallelDeliverer(n, workers int) *parallelDeliverer {
 		shards:  shards,
 		hits:    make([]int32, n),
 		buckets: make([][][]graph.NodeID, workers),
+		rows:    make([][]graph.NodeID, workers),
 		touched: make([][]graph.NodeID, shards),
 		outD:    make([][]graph.NodeID, shards),
 		colls:   make([]int, shards),
@@ -71,14 +73,17 @@ func newParallelDeliverer(n, workers int) *parallelDeliverer {
 	return pd
 }
 
-func (pd *parallelDeliverer) deliver(g *graph.Digraph, transmitters []graph.NodeID, informed Bitset) (delivered []graph.NodeID, collisions int) {
+func (pd *parallelDeliverer) deliver(g graph.Implicit, transmitters []graph.NodeID, informed Bitset) (delivered []graph.NodeID, collisions int) {
 	w := pd.workers
 	if len(transmitters) < 4*w {
 		// Not worth fanning out; run the serial algorithm on our buffers.
 		return pd.st.deliver(g, transmitters, informed)
 	}
+	dg, _ := g.(*graph.Digraph)
 
 	// Pass 1: distribute hit receivers into per-(worker, shard) buckets.
+	// Implicit graphs enumerate rows into a per-worker buffer (rows are
+	// re-derived independently, so workers never share generator state).
 	var wg sync.WaitGroup
 	chunk := (len(transmitters) + w - 1) / w
 	nBuckets := (len(transmitters) + chunk - 1) / chunk
@@ -86,18 +91,25 @@ func (pd *parallelDeliverer) deliver(g *graph.Digraph, transmitters []graph.Node
 		lo := i * chunk
 		hi := min(lo+chunk, len(transmitters))
 		wg.Add(1)
-		go func(bw [][]graph.NodeID, txs []graph.NodeID) {
+		go func(bw [][]graph.NodeID, txs []graph.NodeID, row *[]graph.NodeID) {
 			defer wg.Done()
 			for s := range bw {
 				bw[s] = bw[s][:0]
 			}
 			for _, u := range txs {
-				for _, t := range g.Out(u) {
+				out := *row
+				if dg != nil {
+					out = dg.Out(u)
+				} else {
+					out = g.AppendOut(u, out[:0])
+					*row = out
+				}
+				for _, t := range out {
 					s := uint32(t) >> pd.shift
 					bw[s] = append(bw[s], t)
 				}
 			}
-		}(pd.buckets[i], transmitters[lo:hi])
+		}(pd.buckets[i], transmitters[lo:hi], &pd.rows[i])
 	}
 	wg.Wait()
 

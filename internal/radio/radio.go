@@ -494,7 +494,16 @@ func (s *BroadcastSession) initEnergy(spec *energy.Spec) {
 // graphs). The returned Result reflects the cumulative session state;
 // Result.Rounds is the absolute round clock and Result.History (if
 // recorded) covers this segment only.
-func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
+//
+// g may be any graph.Implicit — a materialized *graph.Digraph or an
+// implicit view that re-derives rows on demand. Every kernel takes the
+// zero-copy CSR path when g is a *Digraph, so the materialized hot loops
+// are unchanged; implicit graphs enumerate rows into reusable buffers. The
+// pull cost model needs Σ in-degree over the uninformed set, so it engages
+// only when g.CheapIn() reports in-rows affordable — push-only otherwise
+// (implicit G(n,p) without its transpose index), which is exactly the
+// access pattern that keeps planet-scale runs O(n) in memory.
+func (s *BroadcastSession) Run(g graph.Implicit, opt Options) *Result {
 	if err := opt.validate(); err != nil {
 		panic(err)
 	}
@@ -524,8 +533,11 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 	// cannot prove the topology is unchanged. O(n/64 + uninformed) per Run,
 	// then maintained incrementally in the round loop. Segments that can
 	// never consult it (forced kernels, lossy channel, exact-collision
-	// consumers) skip the scan.
-	if engineOverrides.Kernel == KernelAuto && opt.LossProb == 0 && !exactCollisions {
+	// consumers, graphs whose in-rows are expensive) skip the scan.
+	dg, _ := g.(*graph.Digraph)
+	trackUnin := engineOverrides.Kernel == KernelAuto && opt.LossProb == 0 &&
+		!exactCollisions && g.CheapIn()
+	if trackUnin {
 		s.uninSum = uninformedInSum(g, s.informed)
 	}
 	if opt.Energy != nil {
@@ -650,7 +662,7 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 			case KernelPush, KernelParallel:
 				// forced transmitter-side kernels
 			default:
-				usePull = !exactCollisions && len(transmitters) > 0 &&
+				usePull = trackUnin && len(transmitters) > 0 &&
 					s.uninSum+int64(len(transmitters)) < outDegSum(g, transmitters)
 			}
 		}
@@ -678,7 +690,13 @@ func (s *BroadcastSession) Run(g *graph.Digraph, opt Options) *Result {
 		for _, v := range delivered {
 			s.informed.Set(v)
 			s.informedList = append(s.informedList, v)
-			s.uninSum -= int64(g.InDegree(v))
+			if trackUnin {
+				if dg != nil {
+					s.uninSum -= int64(dg.InDegree(v))
+				} else {
+					s.uninSum -= int64(g.InDegree(v))
+				}
+			}
 			s.proto.OnInformed(round, v)
 			if opt.Tracer != nil {
 				opt.Tracer.Deliver(round, v)
@@ -782,24 +800,25 @@ func dropJammed(delivered, jammed []graph.NodeID) []graph.NodeID {
 // g: a fresh single-segment session. The run is a pure function of (g, src,
 // p's parameters, seed of protoRNG): repeated runs with equal inputs produce
 // identical Results.
-func RunBroadcast(g *graph.Digraph, src graph.NodeID, p Broadcaster, protoRNG *rng.RNG, opt Options) *Result {
+func RunBroadcast(g graph.Implicit, src graph.NodeID, p Broadcaster, protoRNG *rng.RNG, opt Options) *Result {
 	return NewBroadcastSession(g.N(), src, p, protoRNG).Run(g, opt)
 }
 
 // RunBroadcastWith is RunBroadcast reusing sc's buffers (the trial-loop fast
 // path: the experiment harness calls it with one Scratch per worker).
-func RunBroadcastWith(sc *Scratch, g *graph.Digraph, src graph.NodeID, p Broadcaster, protoRNG *rng.RNG, opt Options) *Result {
+func RunBroadcastWith(sc *Scratch, g graph.Implicit, src graph.NodeID, p Broadcaster, protoRNG *rng.RNG, opt Options) *Result {
 	return NewBroadcastSessionWith(sc, g.N(), src, p, protoRNG).Run(g, opt)
 }
 
 // deliveryState holds the reusable scratch arrays of the serial delivery
 // kernel: a hit counter per node, the list of touched nodes (so resetting
-// costs O(touched), not O(n)), and the delivered-output buffer reused across
-// rounds.
+// costs O(touched), not O(n)), the delivered-output buffer reused across
+// rounds, and the row buffer implicit graphs enumerate into.
 type deliveryState struct {
 	hits      []int32
 	touched   []graph.NodeID
 	delivered []graph.NodeID
+	row       []graph.NodeID
 }
 
 func newDeliveryState(n int) *deliveryState {
@@ -811,14 +830,26 @@ func newDeliveryState(n int) *deliveryState {
 // newly informed nodes (in increasing id order) and the number of nodes that
 // experienced a collision (>= 2 hits). The returned slice is scratch, valid
 // until the next deliver/deliverLossy call on this state.
-func (st *deliveryState) deliver(g *graph.Digraph, transmitters []graph.NodeID, informed Bitset) (delivered []graph.NodeID, collisions int) {
+func (st *deliveryState) deliver(g graph.Implicit, transmitters []graph.NodeID, informed Bitset) (delivered []graph.NodeID, collisions int) {
 	st.touched = st.touched[:0]
-	for _, u := range transmitters {
-		for _, w := range g.Out(u) {
-			if st.hits[w] == 0 {
-				st.touched = append(st.touched, w)
+	if dg, ok := g.(*graph.Digraph); ok {
+		for _, u := range transmitters {
+			for _, w := range dg.Out(u) {
+				if st.hits[w] == 0 {
+					st.touched = append(st.touched, w)
+				}
+				st.hits[w]++
 			}
-			st.hits[w]++
+		}
+	} else {
+		for _, u := range transmitters {
+			st.row = g.AppendOut(u, st.row[:0])
+			for _, w := range st.row {
+				if st.hits[w] == 0 {
+					st.touched = append(st.touched, w)
+				}
+				st.hits[w]++
+			}
 		}
 	}
 	delivered = st.delivered[:0]
@@ -845,10 +876,18 @@ func (st *deliveryState) deliver(g *graph.Digraph, transmitters []graph.NodeID, 
 // signal neither delivers nor interferes at that receiver. Channel
 // randomness comes from the session's dedicated stream so protocol RNG
 // consumption is unaffected.
-func (st *deliveryState) deliverLossy(g *graph.Digraph, transmitters []graph.NodeID, informed Bitset, loss float64, channel *rng.RNG) (delivered []graph.NodeID, collisions int) {
+func (st *deliveryState) deliverLossy(g graph.Implicit, transmitters []graph.NodeID, informed Bitset, loss float64, channel *rng.RNG) (delivered []graph.NodeID, collisions int) {
 	st.touched = st.touched[:0]
+	dg, _ := g.(*graph.Digraph)
 	for _, u := range transmitters {
-		for _, w := range g.Out(u) {
+		var row []graph.NodeID
+		if dg != nil {
+			row = dg.Out(u)
+		} else {
+			st.row = g.AppendOut(u, st.row[:0])
+			row = st.row
+		}
+		for _, w := range row {
 			if channel.Bernoulli(loss) {
 				continue // faded below detection threshold
 			}

@@ -10,6 +10,12 @@
 #   scripts/bench.sh                         # count=5, all Primitive benchmarks
 #   COUNT=1 scripts/bench.sh Decision        # quick smoke of a subset
 #   scripts/bench.sh -o /tmp/BENCH_pr.json   # deterministic artifact name (CI)
+#   BENCH_FILTER=full COUNT=1 scripts/bench.sh  # include planet-scale runs
+#
+# BENCH_FILTER selects the tier: "short" (the default) passes -short so the
+# planet-scale benchmarks (BenchmarkPrimitiveAlgorithm1Run100M) skip
+# themselves and can never time out the PR bench gate; "full" runs
+# everything — the nightly leg and the committed BENCH trajectory use it.
 #
 # The JSON stream goes to OUT (default BENCH_<date>.json in the repo root) and
 # the benchmark lines to ${OUT%.json}.txt. Relative -o paths are resolved
@@ -33,6 +39,12 @@ shift $((OPTIND - 1))
 
 COUNT="${COUNT:-5}"
 PATTERN="${1:-Primitive}"
+BENCH_FILTER="${BENCH_FILTER:-short}"
+case "${BENCH_FILTER}" in
+  short) TIER_FLAGS=("-short") ;;
+  full)  TIER_FLAGS=("-timeout" "120m") ;;  # planet-scale runs take minutes each
+  *) echo "bench.sh: BENCH_FILTER must be \"short\" or \"full\", got \"${BENCH_FILTER}\"" >&2; exit 2 ;;
+esac
 
 cd "${BENCH_ROOT:-$(dirname "$0")/..}"
 if [[ -z "${OUT}" ]]; then
@@ -40,9 +52,10 @@ if [[ -z "${OUT}" ]]; then
 fi
 TXT="${OUT%.json}.txt"
 
-echo "running go test -bench=${PATTERN} -benchmem -count=${COUNT} -> ${OUT}" >&2
+echo "running go test -bench=${PATTERN} -benchmem -count=${COUNT} (tier: ${BENCH_FILTER}) -> ${OUT}" >&2
 status=0
-go test -run '^$' -bench="${PATTERN}" -benchmem -count="${COUNT}" -json . > "${OUT}" || status=$?
+go test -run '^$' ${TIER_FLAGS[@]+"${TIER_FLAGS[@]}"} -bench="${PATTERN}" -benchmem -count="${COUNT}" \
+  -json . > "${OUT}" || status=$?
 
 # Benchstat-compatible text form: the benchmark result lines plus the
 # goos/goarch/pkg/cpu context header.

@@ -10,6 +10,13 @@
 # repeated -count runs. CI pairs this hard gate with a human-readable
 # `benchstat base pr` report — benchstat's per-benchmark p-values catch
 # individual regressions this aggregate test tolerates.
+#
+# BENCH_FILTER, when set, is an awk ERE of benchmark names to EXCLUDE from
+# the comparison — e.g. BENCH_FILTER='Run100M' keeps a committed full-tier
+# baseline comparable against a short-tier PR run without letting the
+# planet-scale points (single-iteration, minutes-long, noisy) steer the
+# geomean. Note the semantics differ from bench.sh, where BENCH_FILTER
+# names the tier to run.
 set -euo pipefail
 
 if [[ $# -lt 2 ]]; then
@@ -20,13 +27,14 @@ base="$1"
 pr="$2"
 thresh="${3:-20}"
 
-awk -v thresh="${thresh}" '
+awk -v thresh="${thresh}" -v filter="${BENCH_FILTER:-}" '
 FNR == 1 { file++ }
 /^Benchmark/ {
   # "BenchmarkFoo-8  120  12345 ns/op ..." — strip the GOMAXPROCS suffix and
   # pick the value preceding the ns/op unit.
   name = $1
   sub(/-[0-9]+$/, "", name)
+  if (filter != "" && name ~ filter) next
   v = -1
   for (i = 2; i < NF; i++) {
     if ($(i + 1) == "ns/op") { v = $i; break }
