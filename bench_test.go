@@ -504,6 +504,44 @@ func BenchmarkPrimitiveEnergyRound262144(b *testing.B) {
 		Energy: &energy.Spec{Model: energy.CC2420(), Budget: 1e12}})
 }
 
+// BenchmarkPrimitiveFadeRound262144 is the channel-layer alloc gate: the
+// same steady-state pulse as the energy round benchmark, but every delivery
+// resolves through the per-edge lossy + per-receiver fade draws. The caps
+// closures are built once per Run, so a faded round must stay 0 allocs/op
+// like the binary round it generalises.
+func BenchmarkPrimitiveFadeRound262144(b *testing.B) {
+	g := bigRGGGraph()
+	n := g.N()
+	txs := make([]graph.NodeID, 0, n/64)
+	for v := 0; v < n; v += 64 {
+		txs = append(txs, graph.NodeID(v))
+	}
+	sess := radio.NewBroadcastSession(n, 0, &pulseSet{txs: txs}, rng.New(18))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sess.Run(g, radio.Options{MaxRounds: b.N, Reception: radio.Fade(0.2)})
+}
+
+// BenchmarkPrimitiveDutyCycleRound262144 prices a metered round with a
+// staggered 1-in-4 listener schedule active: the awake/asleep split is
+// settled through O(Period) phase-residue counters, so a scheduled round
+// must cost within noise of BenchmarkPrimitiveEnergyRound262144 and stay
+// 0 allocs/op.
+func BenchmarkPrimitiveDutyCycleRound262144(b *testing.B) {
+	g := bigRGGGraph()
+	n := g.N()
+	txs := make([]graph.NodeID, 0, n/64)
+	for v := 0; v < n; v += 64 {
+		txs = append(txs, graph.NodeID(v))
+	}
+	sess := radio.NewBroadcastSession(n, 0, &pulseSet{txs: txs}, rng.New(18))
+	b.ReportAllocs()
+	b.ResetTimer()
+	sess.Run(g, radio.Options{MaxRounds: b.N,
+		Energy: &energy.Spec{Model: energy.CC2420(), Budget: 1e12,
+			Schedule: &energy.DutyCycle{Period: 4, On: 1, Stagger: true}}})
+}
+
 // --- implicit-topology benchmarks: the generate-free graph.Implicit
 // backend on the same workloads as the materialized trajectory points, plus
 // the planet-scale acceptance run that cannot exist materialized.

@@ -73,6 +73,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			id       = fs.String("id", "", "job ID (default: daemon-assigned)")
 			resume   = fs.Bool("resume", false, "resume into this job's existing checkpoint namespace")
 			implicit = fs.Bool("implicit", false, "restrict graph-representation axes to implicit (generate-free) points")
+			channel  = fs.String("channel", "", "restrict channel-model axes to one leg: binary, fade, or duty")
 		)
 		if err := fs.Parse(rest); err != nil {
 			return 2
@@ -88,6 +89,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Seed:        *seed,
 			Workers:     *workers,
 			GraphMode:   mode,
+			Channel:     *channel,
 			Resume:      *resume,
 		})
 		if err != nil {

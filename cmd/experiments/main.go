@@ -118,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		all        = fs.Bool("all", false, "run every experiment")
 		full       = fs.Bool("full", false, "paper-scale grids (slower)")
 		implicit   = fs.Bool("implicit", false, "restrict graph-representation axes to implicit (generate-free) points")
+		channel    = fs.String("channel", "", "restrict channel-model axes to one leg: binary, fade, or duty")
 		seed       = fs.Uint64("seed", 2009, "base seed (default: year of the TCS version)")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		out        = fs.String("out", "", "write output to this file instead of stdout")
@@ -227,6 +228,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *implicit {
 		cfg.GraphMode = "implicit"
 	}
+	cfg.Channel = *channel
 	watchDone := make(chan struct{})
 	defer close(watchDone)
 	start := time.Now()

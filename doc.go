@@ -89,6 +89,24 @@
 // informed trajectory, per-node transmissions, rounds and energy. See
 // README.md ("The sparse round engine").
 //
+// The reception rule itself is pluggable: radio.Options.Reception takes a
+// radio.ReceptionModel — Binary (the paper's rule and the default, which
+// resolves to the exact pre-existing hot paths), Fade (per-receiver deep
+// fade), LossyChannel (per-link erasure), SINRThreshold (capture: up to K
+// simultaneous transmitters decode), and Jam (stationary random jamming).
+// Channel randomness is hashed per (seed, round, receiver[, transmitter]),
+// not streamed, so every kernel iteration order produces bit-identical
+// results, silent rounds consume no channel randomness (cross-round
+// skipping stays exact), and resumed sessions reproduce uninterrupted
+// ones. Listener duty cycles compose from the energy side:
+// energy.DutyCycle schedules uninformed listeners into on/off windows
+// (sleeping listeners cannot receive and pay the sleep rate), with
+// closed-form span accounting that keeps bulk idle settlement and death
+// prediction exact. The C1–C5 battery in internal/expt measures the
+// consequences, with the channel exposed as a shardable campaign axis
+// (campaign.Config.Channel, cmd/experiments -channel). See README.md
+// ("Channel models & duty cycles").
+//
 // The engine also runs on implicit topologies: graph.Implicit is the
 // generate-free graph interface (deterministic per-(seed,node) row
 // enumeration, strictly increasing and bit-stable), with two backends —

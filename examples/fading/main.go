@@ -1,0 +1,86 @@
+// Fading: what an imperfect channel does to the energy-latency front. On
+// the same CC2420-metered unit-disk deployment as examples/tradeoff, sweep
+// the per-receiver deep-fade probability (radio.Fade — in each round a
+// receiver independently hears nothing with probability p) against the
+// transmit dial q, and watch the N2-style front shift.
+//
+// Fading only ever removes receptions (a faded receiver misses clean
+// signals AND collisions alike), so every broadcast slows down — and under
+// a metered receive chain a slower broadcast is not latency-neutral: each
+// extra uninformed round bleeds listen energy across the network. The
+// whole front shifts up with p, and it steepens asymmetrically: the quiet
+// end pays fade roughly linearly (more uninformed rounds at full listen
+// cost), while past the optimum the collision-bound schedules compound
+// fade with their own interference. The C battery measures the same family
+// under the experiment harness (experiments C1, C2, C5).
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/energy"
+	"repro/internal/graph"
+	"repro/internal/radio"
+	"repro/internal/rng"
+)
+
+func main() {
+	n := 400
+	rc := graph.ConnectivityRadius(n)
+	spec := graph.GeomSpec{N: n, Radius: 2 * rc, Torus: true}
+	model := energy.CC2420()
+
+	fmt.Printf("UDG sensor field: n=%d, radius 2·r_c=%.3f (torus), CC2420 energy model\n", n, 2*rc)
+	fmt.Println("fixed(q) broadcast under per-receiver fading; energy in tx-round units")
+
+	const trials = 5
+	qs := []float64{0.01, 0.02, 0.05, 0.1, 0.2}
+	for _, fade := range []float64{0, 0.2, 0.4} {
+		var reception radio.ReceptionModel
+		if fade > 0 {
+			reception = radio.Fade(fade)
+		}
+		fmt.Printf("\n-- fade p = %.1f --\n", fade)
+		fmt.Printf("%-7s %-9s %-9s %-13s %-12s\n",
+			"q", "rounds", "tx/node", "listenE/node", "totalE/node")
+
+		bestQ, bestE := 0.0, 0.0
+		sc := radio.NewScratch()
+		gsc := graph.NewScratch()
+		for _, q := range qs {
+			var rounds, txn, listenE, totalE float64
+			done := 0
+			for s := uint64(0); s < trials; s++ {
+				g, _ := gsc.Geometric(spec, rng.New(s*1315423911+17))
+				res := radio.RunBroadcastWith(sc, g, 0, &baseline.FixedProb{Q: q}, rng.New(s*2654435761+1),
+					radio.Options{MaxRounds: 60000, StopWhenInformed: true,
+						Reception: reception,
+						Energy:    &energy.Spec{Model: model}})
+				txn += res.TxPerNode()
+				listenE += res.Energy.ListenEnergy / float64(n)
+				totalE += res.Energy.EnergyPerNode()
+				if res.Completed() {
+					done++
+					rounds += float64(res.InformedRound)
+				}
+			}
+			if done == 0 {
+				fmt.Printf("%-7.3f (no completions within the round cap)\n", q)
+				continue
+			}
+			avgE := totalE / trials
+			fmt.Printf("%-7.3f %-9.0f %-9.1f %-13.1f %-12.1f\n",
+				q, rounds/float64(done), txn/trials, listenE/trials, avgE)
+			if bestQ == 0 || avgE < bestE {
+				bestQ, bestE = q, avgE
+			}
+		}
+		fmt.Printf("cheapest q at fade %.1f: q=%.3f (%.1f units/node)\n", fade, bestQ, bestE)
+	}
+
+	fmt.Println("\nFading shifts the whole energy-latency front up, and not evenly:")
+	fmt.Println("the quiet schedules pay for it in stretched listen windows, the")
+	fmt.Println("chatty ones in compounded collisions — the interior optimum survives")
+	fmt.Println("every fade level the channel throws at it.")
+}

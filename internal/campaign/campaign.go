@@ -48,6 +48,13 @@ type Config struct {
 	// Point keys embed the representation, so records from different modes
 	// never collide and resume works across mode changes.
 	GraphMode string
+	// Channel restricts channel-model axes in campaigns that carry one (the
+	// channel-realism battery): "" enumerates every model; "binary", "fade"
+	// or "duty" only that model's points — so a worker can run one channel
+	// leg of a comparison grid. Point keys embed the channel, so records
+	// from different restrictions never collide and resume works across
+	// changes. Campaigns without a channel axis ignore it.
+	Channel string
 }
 
 // Samples is the result of one grid point: per-metric sample vectors,

@@ -72,6 +72,14 @@ type Spec struct {
 	// listening-is-free semantics: a dead battery only silences the
 	// transmitter). Default false: a depleted radio is off entirely.
 	DeadReceive bool
+	// Schedule, when non-nil, duty-cycles every listening radio (see
+	// DutyCycle): an alive uninformed node is awake only in the On leading
+	// rounds of each Period-round cycle (shifted by Offset, plus the node
+	// id when Stagger); in asleep rounds it pays Sleep instead of Listen
+	// and cannot receive — the radio engine vetoes deliveries to sleeping
+	// listeners. On == Period gates nothing and is equivalent to nil.
+	// Ignored on Resume (the resumed state keeps its schedule).
+	Schedule *DutyCycle
 	// TrackPartition records Report.PartitionRound: the first round at whose
 	// end the alive nodes no longer form a single connected component
 	// (reachability from the lowest-id alive node along out-edges through

@@ -36,6 +36,14 @@ type State struct {
 	deadReceive    bool
 	trackPartition bool
 
+	// Listener duty-cycle schedule (hasSched iff one is active):
+	// listenPhase[c] counts the alive LISTENING nodes of phase class c, so
+	// the awake-listener population of any round — and of any idle span —
+	// is a Σ over at most Period classes (see schedule.go).
+	sched       DutyCycle
+	hasSched    bool
+	listenPhase []int64
+
 	budget []float64
 	spent  []float64 // charge folded through round anchor[v]
 	anchor []int32   // last *age* round whose cost is included in spent[v]
@@ -95,6 +103,24 @@ func (st *State) Start(spec Spec, n int) {
 	st.deadReceive = spec.DeadReceive
 	st.trackPartition = spec.TrackPartition
 	st.limited = spec.Budgets != nil || (spec.Budget > 0 && !math.IsInf(spec.Budget, 1))
+
+	st.hasSched = false
+	if spec.Schedule != nil {
+		if err := spec.Schedule.validate(); err != nil {
+			panic(err)
+		}
+		if spec.Schedule.active() {
+			st.sched = *spec.Schedule
+			st.hasSched = true
+			st.listenPhase = grow64(st.listenPhase, st.sched.Period)
+			for c := range st.listenPhase {
+				st.listenPhase[c] = 0
+			}
+			for v := 0; v < n; v++ {
+				st.listenPhase[st.sched.classOf(graph.NodeID(v))]++
+			}
+		}
+	}
 
 	st.spent = growF(st.spent, n)
 	st.anchor = grow32(st.anchor, n)
@@ -156,6 +182,7 @@ func (st *State) Rebase() {
 			st.status[v] = statusListening
 			st.aliveInformed--
 			st.aliveListening++
+			st.noteListenEnter(graph.NodeID(v))
 		}
 		if st.limited {
 			st.key[v] = st.predictKey(graph.NodeID(v))
@@ -212,12 +239,60 @@ func (st *State) NoteInformed(v graph.NodeID, sessionRound int) {
 		return
 	}
 	st.fold(v, st.base+sessionRound)
+	st.noteListenExit(v)
 	st.status[v] = statusInformed
 	st.aliveListening--
 	st.aliveInformed++
 	if st.limited {
 		st.fixKey(v)
 	}
+}
+
+// noteListenExit / noteListenEnter maintain the schedule's phase-class
+// populations across listening-status transitions. No-ops without a
+// schedule. Call while v's status is still statusListening (exit) or
+// just after it became statusListening (enter).
+func (st *State) noteListenExit(v graph.NodeID) {
+	if st.hasSched {
+		st.listenPhase[st.sched.classOf(v)]--
+	}
+}
+
+func (st *State) noteListenEnter(v graph.NodeID) {
+	if st.hasSched {
+		st.listenPhase[st.sched.classOf(v)]++
+	}
+}
+
+// Scheduled reports whether a listener duty-cycle schedule is active.
+func (st *State) Scheduled() bool { return st.hasSched }
+
+// AwakeAt reports whether the listening radio of node v is awake in the
+// given session round (always true without an active schedule). Informed
+// and dead nodes are governed by the protocol and depletion, not by this.
+func (st *State) AwakeAt(v graph.NodeID, sessionRound int) bool {
+	if !st.hasSched {
+		return true
+	}
+	return st.sched.awakeAt(st.sched.classOf(v), st.base+sessionRound)
+}
+
+// FilterAwake drops receivers whose radio is duty-cycled asleep in the
+// given session round, in place, preserving order. The engine applies it
+// to the delivered list so a sleeping listener misses the message (and
+// keeps paying Sleep, not Rx).
+func (st *State) FilterAwake(list []graph.NodeID, sessionRound int) []graph.NodeID {
+	if !st.hasSched {
+		return list
+	}
+	age := st.base + sessionRound
+	out := list[:0]
+	for _, v := range list {
+		if st.sched.awakeAt(st.sched.classOf(v), age) {
+			out = append(out, v)
+		}
+	}
+	return out
 }
 
 // FilterAlive drops depleted nodes from list in place, preserving order,
@@ -257,6 +332,14 @@ func (st *State) EndRound(sessionRound int, transmitters, delivered []graph.Node
 	}
 	listenersBefore := st.aliveListening
 	sleepersBefore := st.aliveInformed - txInf
+	// Under a duty-cycle schedule only the AWAKE listeners pay Listen this
+	// round; the asleep ones pay Sleep. Receivers were necessarily awake
+	// (the engine vetoes deliveries to sleeping listeners), so they, like
+	// any listening transmitter, come out of the awake share.
+	awakeBefore := listenersBefore
+	if st.hasSched {
+		awakeBefore = st.awakeListenersAt(age)
+	}
 	rx := 0
 	for _, v := range delivered {
 		if st.status[v] == statusDead {
@@ -264,6 +347,7 @@ func (st *State) EndRound(sessionRound int, transmitters, delivered []graph.Node
 		}
 		rx++
 		st.charge(v, age, st.model.Rx)
+		st.noteListenExit(v)
 		st.status[v] = statusInformed
 		st.aliveListening--
 		st.aliveInformed++
@@ -274,8 +358,8 @@ func (st *State) EndRound(sessionRound int, transmitters, delivered []graph.Node
 
 	st.txEvents += int64(len(transmitters))
 	st.rxEvents += int64(rx)
-	st.listenNodeRounds += int64(listenersBefore - rx - (len(transmitters) - txInf))
-	st.sleepNodeRounds += int64(sleepersBefore)
+	st.listenNodeRounds += int64(awakeBefore - rx - (len(transmitters) - txInf))
+	st.sleepNodeRounds += int64(sleepersBefore) + int64(listenersBefore-awakeBefore)
 
 	if st.limited {
 		newDeaths = st.sweepDeaths(age)
@@ -327,8 +411,24 @@ func (st *State) AdvanceIdle(fromSession, toSession int) (deaths int) {
 			}
 		}
 		span := int64(next - cur)
-		st.listenNodeRounds += int64(st.aliveListening) * span
-		st.sleepNodeRounds += int64(st.aliveInformed) * span
+		if st.hasSched {
+			// Listen node-rounds over the span, per phase class: awakeIn is
+			// a closed form, so spans settle exactly no matter how many
+			// wake/sleep boundaries they cross. Asleep listener rounds pay
+			// Sleep alongside the informed sleepers.
+			var awake int64
+			for c, cnt := range st.listenPhase {
+				if cnt != 0 {
+					awake += cnt * st.sched.awakeIn(c, cur+1, next)
+				}
+			}
+			st.listenNodeRounds += awake
+			st.sleepNodeRounds += int64(st.aliveInformed)*span +
+				int64(st.aliveListening)*span - awake
+		} else {
+			st.listenNodeRounds += int64(st.aliveListening) * span
+			st.sleepNodeRounds += int64(st.aliveInformed) * span
+		}
 		cur = next
 		st.round = cur
 		if st.limited {
@@ -417,7 +517,8 @@ func (st *State) Report() *Report {
 
 // --- lazy per-node accounting ---
 
-// rate returns v's passive per-round drain under its current status.
+// rate returns v's passive per-round drain under its current status
+// (schedule-free; scheduled listeners go through passiveSpend).
 func (st *State) rate(v graph.NodeID) float64 {
 	switch st.status[v] {
 	case statusListening:
@@ -428,10 +529,38 @@ func (st *State) rate(v graph.NodeID) float64 {
 	return 0
 }
 
+// awakeListenersAt returns the number of alive listening nodes awake in age
+// round `age` under the active schedule: Σ over phase classes, O(Period).
+func (st *State) awakeListenersAt(age int) int {
+	var awake int64
+	for c, cnt := range st.listenPhase {
+		if cnt != 0 && st.sched.awakeAt(c, age) {
+			awake += cnt
+		}
+	}
+	return int(awake)
+}
+
+// passiveSpend returns v's passive drain over age rounds [from, to] under
+// its current status: constant-rate, except for a duty-cycled listener,
+// whose awake rounds (Listen) and asleep rounds (Sleep) are counted in
+// closed form.
+func (st *State) passiveSpend(v graph.NodeID, from, to int) float64 {
+	d := to - from + 1
+	if d <= 0 {
+		return 0
+	}
+	if st.hasSched && st.status[v] == statusListening {
+		aw := st.sched.awakeIn(st.sched.classOf(v), from, to)
+		return st.model.Listen*float64(aw) + st.model.Sleep*float64(int64(d)-aw)
+	}
+	return st.rate(v) * float64(d)
+}
+
 // fold materialises v's passive drain through age round `through`.
 func (st *State) fold(v graph.NodeID, through int) {
-	if d := through - int(st.anchor[v]); d > 0 {
-		st.spent[v] += st.rate(v) * float64(d)
+	if through > int(st.anchor[v]) {
+		st.spent[v] += st.passiveSpend(v, int(st.anchor[v])+1, through)
 		st.anchor[v] = int32(through)
 	}
 }
@@ -439,7 +568,10 @@ func (st *State) fold(v graph.NodeID, through int) {
 // spendAt returns v's cumulative spend through age round `age` without
 // mutating state.
 func (st *State) spendAt(v graph.NodeID, age int) float64 {
-	return st.spent[v] + st.rate(v)*float64(age-int(st.anchor[v]))
+	if age <= int(st.anchor[v]) {
+		return st.spent[v]
+	}
+	return st.spent[v] + st.passiveSpend(v, int(st.anchor[v])+1, age)
 }
 
 // charge bills v for an active round (transmit or receive): passive rounds
@@ -467,6 +599,9 @@ func (st *State) predictKey(v graph.NodeID) int64 {
 	if left <= 0 {
 		return int64(st.anchor[v])
 	}
+	if st.hasSched && st.status[v] == statusListening {
+		return st.predictScheduled(v, left)
+	}
 	rho := st.rate(v)
 	if rho <= 0 {
 		return neverRound
@@ -476,6 +611,41 @@ func (st *State) predictKey(v graph.NodeID) int64 {
 		return neverRound
 	}
 	return int64(st.anchor[v]) + int64(k)
+}
+
+// predictScheduled inverts a duty-cycled listener's periodic drain: any
+// Period consecutive rounds cost exactly cyc = Listen·On + Sleep·(Period-On),
+// so jump whole cycles to just below the budget and walk the remaining
+// <= 2 cycles round by round (O(Period), exact). The fallback return after
+// the walk bound is conservative-early, which sweepDeaths tolerates.
+func (st *State) predictScheduled(v graph.NodeID, left float64) int64 {
+	p := &st.sched
+	cyc := st.model.Listen*float64(p.On) + st.model.Sleep*float64(p.Period-p.On)
+	if cyc <= 0 {
+		return neverRound
+	}
+	full := math.Floor(left/cyc) - 1
+	if full < 0 {
+		full = 0
+	}
+	if full > float64(neverRound)/2/float64(p.Period) {
+		return neverRound
+	}
+	c := p.classOf(v)
+	r := int64(st.anchor[v]) + int64(full)*int64(p.Period)
+	acc := full * cyc
+	for i := 0; i < 3*p.Period+2; i++ {
+		r++
+		if p.awakeAt(c, int(r)) {
+			acc += st.model.Listen
+		} else {
+			acc += st.model.Sleep
+		}
+		if acc >= left {
+			return r
+		}
+	}
+	return r
 }
 
 // sweepDeaths retires every node whose spend reached its budget by the end
@@ -507,6 +677,7 @@ func (st *State) kill(v graph.NodeID, age int) {
 	st.fold(v, age)
 	if st.status[v] == statusListening {
 		st.aliveListening--
+		st.noteListenExit(v)
 	} else {
 		st.aliveInformed--
 	}

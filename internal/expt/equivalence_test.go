@@ -16,9 +16,12 @@ import (
 // N2 rides along: its tables carry per-node energy columns, so invariance
 // here also pins the energy accounting across engine configurations at the
 // experiment level (the radio package holds the per-node bit-identity test).
+// C2 and C4 extend the pin to the channel layer: hashed per-edge loss /
+// per-receiver fade draws and duty-cycled listener accounting must also be
+// kernel- and skip-independent.
 var equivalenceIDs = []string{
 	"F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6",
-	"E7", "E8", "E9", "E10", "E11", "E12", "N2",
+	"E7", "E8", "E9", "E10", "E11", "E12", "N2", "C2", "C4",
 }
 
 // renderExperiments runs the given experiments at reduced scale and returns

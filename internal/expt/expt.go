@@ -85,7 +85,8 @@ func register(e Experiment) {
 
 // All returns every registered experiment sorted by ID (figures first, then
 // theorem experiments, then extensions, then the geometric battery, then the
-// network-lifetime battery, then the scale battery).
+// network-lifetime battery, then the scale battery, then the
+// channel-realism battery).
 func All() []Experiment {
 	out := append([]Experiment(nil), registry...)
 	sort.Slice(out, func(i, j int) bool { return idLess(out[i].ID, out[j].ID) })
@@ -101,14 +102,15 @@ func Units(es []Experiment) []campaign.Unit {
 	return out
 }
 
-// idLess orders F* before E* before X* before G* before N* before S*,
-// numerically within a class. Unknown or empty IDs sort last, lexically.
+// idLess orders F* before E* before X* before G* before N* before S*
+// before C*, numerically within a class. Unknown or empty IDs sort last,
+// lexically.
 func idLess(a, b string) bool {
 	rank := func(id string) (int, int) {
 		if id == "" {
-			return 7, 0
+			return 8, 0
 		}
-		class := 6
+		class := 7
 		switch id[0] {
 		case 'F':
 			class = 0
@@ -122,6 +124,8 @@ func idLess(a, b string) bool {
 			class = 4
 		case 'S':
 			class = 5
+		case 'C':
+			class = 6
 		}
 		num := 0
 		fmt.Sscanf(id[1:], "%d", &num)

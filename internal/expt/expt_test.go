@@ -60,7 +60,8 @@ func runByID(t *testing.T, id string) []*sweep.Table {
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"F1", "F2", "E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8",
 		"E9", "E10", "E11", "E12", "X1", "X2", "X3", "X4", "X5", "X6", "X7", "X8",
-		"G1", "G2", "G3", "G4", "G5", "G6", "N1", "N2", "N3", "N4", "N5", "S1"}
+		"G1", "G2", "G3", "G4", "G5", "G6", "N1", "N2", "N3", "N4", "N5", "S1",
+		"C1", "C2", "C3", "C4", "C5"}
 	all := All()
 	if len(all) != len(want) {
 		ids := make([]string, len(all))
@@ -79,8 +80,8 @@ func TestRegistryComplete(t *testing.T) {
 	if all[0].ID != "F1" || all[1].ID != "F2" || all[2].ID != "E1" {
 		t.Fatalf("ordering wrong: %s %s %s", all[0].ID, all[1].ID, all[2].ID)
 	}
-	if all[len(all)-1].ID != "S1" {
-		t.Fatalf("last should be S1, got %s", all[len(all)-1].ID)
+	if all[len(all)-1].ID != "C5" {
+		t.Fatalf("last should be C5, got %s", all[len(all)-1].ID)
 	}
 	for _, e := range all {
 		if e.Title == "" || e.PaperRef == "" {

@@ -46,18 +46,18 @@ func TestLifetimeBatteryRegistered(t *testing.T) {
 			t.Fatalf("%s missing from the registry", id)
 		}
 	}
-	// The N battery sorts after the geometric battery (only the scale
-	// battery comes later).
+	// The N battery sorts after the geometric battery (only the scale and
+	// channel batteries come later).
 	all := All()
-	if last := all[len(all)-1].ID; last[0] != 'S' {
-		t.Fatalf("expected a scale experiment to sort last, got %s", last)
+	if last := all[len(all)-1].ID; last[0] != 'C' {
+		t.Fatalf("expected a channel experiment to sort last, got %s", last)
 	}
 	for i, e := range all {
 		if e.ID[0] != 'N' {
 			continue
 		}
 		for _, later := range all[i+1:] {
-			if later.ID[0] != 'N' && later.ID[0] != 'S' {
+			if later.ID[0] != 'N' && later.ID[0] != 'S' && later.ID[0] != 'C' {
 				t.Fatalf("%s sorts after the N battery", later.ID)
 			}
 		}

@@ -21,10 +21,12 @@ import (
 	"repro/internal/jobqueue"
 )
 
-// config maps the wire spec onto the engine config. GraphMode rides along
-// so daemon-side Expand and worker-side RunPoint enumerate the same grid.
+// config maps the wire spec onto the engine config. GraphMode and Channel
+// ride along so daemon-side Expand and worker-side RunPoint enumerate the
+// same grid.
 func config(spec jobqueue.JobSpec) campaign.Config {
-	return campaign.Config{Full: spec.Full, Seed: spec.Seed, Workers: spec.Workers, GraphMode: spec.GraphMode}
+	return campaign.Config{Full: spec.Full, Seed: spec.Seed, Workers: spec.Workers,
+		GraphMode: spec.GraphMode, Channel: spec.Channel}
 }
 
 // select resolves the spec's experiment list against the registry:

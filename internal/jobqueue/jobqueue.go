@@ -63,6 +63,10 @@ type JobSpec struct {
 	// .GraphMode): "", "csr", or "implicit". "implicit" lets campaignd
 	// dispatch planet-scale generate-free points to small workers.
 	GraphMode string `json:"graph_mode,omitempty"`
+	// Channel restricts channel-model axes (campaign.Config.Channel): "",
+	// "binary", "fade", or "duty" — one worker can run one channel leg of
+	// the channel-realism comparison grid.
+	Channel string `json:"channel,omitempty"`
 	// Resume continues a previous job with the same ID: points whose records
 	// already sit in the job's checkpoint are marked done without re-running.
 	// Without Resume, submitting over a non-empty checkpoint is refused.

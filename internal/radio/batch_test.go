@@ -120,10 +120,10 @@ func TestParallelKernelDirectAtScale(t *testing.T) {
 		}
 	}
 	st := newDeliveryState(n)
-	wantD, wantC := st.deliver(g, txs, informed)
+	wantD, wantC := st.deliver(g, 1, txs, informed, channelCaps{maxHits: 1})
 	for _, workers := range []int{1, 2, 5, 16} {
 		pd := newParallelDeliverer(n, workers)
-		gotD, gotC := pd.deliver(g, txs, informed)
+		gotD, gotC := pd.deliver(g, 1, txs, informed, channelCaps{maxHits: 1})
 		if gotC != wantC || !equalNodeSlices(gotD, wantD) {
 			t.Fatalf("workers=%d: kernel mismatch (%d/%d delivered, %d/%d collisions)",
 				workers, len(gotD), len(wantD), gotC, wantC)

@@ -83,19 +83,22 @@ func (f *frontierState) sync(informed Bitset, n int) {
 	f.ok = true
 }
 
-// deliver applies the collision rule receiver-centrically for one round:
-// each frontier node counts its transmitting in-neighbours (early exit at
-// two); exactly one means reception. Returns the newly informed nodes in
-// ascending id order and the number of UNINFORMED nodes that experienced a
-// collision. The frontier list itself is not modified — the engine removes
-// the finally-delivered nodes (after jamming and battery filters) with
-// remove, so a vetoed reception stays on the frontier. The returned slice
-// is scratch, valid until the next deliver call.
-func (f *frontierState) deliver(g graph.Implicit, transmitters []graph.NodeID) (delivered []graph.NodeID, collisions int) {
+// deliver applies the channel's reception rule receiver-centrically for one
+// round: each frontier node counts its transmitting in-neighbours whose
+// signal survives the edge filter (early exit at maxHits+1 — one past the
+// capture limit, two under the binary model); 1..maxHits means reception.
+// Returns the newly informed nodes in ascending id order and the number of
+// UNINFORMED nodes that experienced a collision. The frontier list itself
+// is not modified — the engine removes the finally-delivered nodes (after
+// channel, jamming, schedule and battery filters) with remove, so a vetoed
+// reception stays on the frontier. The returned slice is scratch, valid
+// until the next deliver call.
+func (f *frontierState) deliver(g graph.Implicit, round int, transmitters []graph.NodeID, caps channelCaps) (delivered []graph.NodeID, collisions int) {
 	dg, _ := g.(*graph.Digraph)
 	for _, u := range transmitters {
 		f.txMark.Set(u)
 	}
+	limit := int(caps.maxHits) + 1
 	delivered = f.out[:0]
 	for _, v := range f.list {
 		var in []graph.NodeID
@@ -106,18 +109,29 @@ func (f *frontierState) deliver(g graph.Implicit, transmitters []graph.NodeID) (
 			in = f.row
 		}
 		hits := 0
-		for _, u := range in {
-			if f.txMark.Get(u) {
-				hits++
-				if hits == 2 {
-					break
+		if caps.edgeOK == nil {
+			for _, u := range in {
+				if f.txMark.Get(u) {
+					hits++
+					if hits == limit {
+						break
+					}
+				}
+			}
+		} else {
+			for _, u := range in {
+				if f.txMark.Get(u) && caps.edgeOK(round, u, v) {
+					hits++
+					if hits == limit {
+						break
+					}
 				}
 			}
 		}
-		if hits == 1 {
-			delivered = append(delivered, v)
-		} else if hits == 2 {
+		if hits == limit {
 			collisions++
+		} else if hits >= 1 {
+			delivered = append(delivered, v)
 		}
 	}
 	for _, u := range transmitters {

@@ -18,8 +18,8 @@ import (
 //	Pass 2 (sharded by receiver): each shard owner merges the buckets
 //	aimed at its range into the shared hit array — no two workers touch
 //	the same counter — then resolves its receivers exactly like the
-//	serial kernel (>= 2 hits collide, exactly 1 delivers) and resets its
-//	counters.
+//	serial kernel (> maxHits surviving hits collide, 1..maxHits deliver)
+//	and resets its counters.
 //
 // Per-shard delivered lists are sorted locally; concatenating them in shard
 // order yields a globally sorted result, which makes the kernel
@@ -73,15 +73,17 @@ func newParallelDeliverer(n, workers int) *parallelDeliverer {
 	return pd
 }
 
-func (pd *parallelDeliverer) deliver(g graph.Implicit, transmitters []graph.NodeID, informed Bitset) (delivered []graph.NodeID, collisions int) {
+func (pd *parallelDeliverer) deliver(g graph.Implicit, round int, transmitters []graph.NodeID, informed Bitset, caps channelCaps) (delivered []graph.NodeID, collisions int) {
 	w := pd.workers
 	if len(transmitters) < 4*w {
 		// Not worth fanning out; run the serial algorithm on our buffers.
-		return pd.st.deliver(g, transmitters, informed)
+		return pd.st.deliver(g, round, transmitters, informed, caps)
 	}
 	dg, _ := g.(*graph.Digraph)
 
-	// Pass 1: distribute hit receivers into per-(worker, shard) buckets.
+	// Pass 1: distribute hit receivers into per-(worker, shard) buckets,
+	// dropping signals the channel's edge filter fades out (the filter is a
+	// pure hash of (seed, round, tx, rx), so workers need no shared state).
 	// Implicit graphs enumerate rows into a per-worker buffer (rows are
 	// re-derived independently, so workers never share generator state).
 	var wg sync.WaitGroup
@@ -104,9 +106,19 @@ func (pd *parallelDeliverer) deliver(g graph.Implicit, transmitters []graph.Node
 					out = g.AppendOut(u, out[:0])
 					*row = out
 				}
-				for _, t := range out {
-					s := uint32(t) >> pd.shift
-					bw[s] = append(bw[s], t)
+				if caps.edgeOK == nil {
+					for _, t := range out {
+						s := uint32(t) >> pd.shift
+						bw[s] = append(bw[s], t)
+					}
+				} else {
+					for _, t := range out {
+						if !caps.edgeOK(round, u, t) {
+							continue
+						}
+						s := uint32(t) >> pd.shift
+						bw[s] = append(bw[s], t)
+					}
 				}
 			}
 		}(pd.buckets[i], transmitters[lo:hi], &pd.rows[i])
@@ -132,7 +144,7 @@ func (pd *parallelDeliverer) deliver(g graph.Implicit, transmitters []graph.Node
 			for _, t := range touched {
 				h := pd.hits[t]
 				pd.hits[t] = 0
-				if h >= 2 {
+				if h > caps.maxHits {
 					coll++
 					continue
 				}

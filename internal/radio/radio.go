@@ -42,6 +42,19 @@
 // skipped span in bulk. All configurations are bit-identical on the
 // informed trajectory, per-node transmissions, rounds and energy; only
 // Result.Collisions is kernel-dependent (see its contract).
+//
+// # The channel layer
+//
+// The exactly-one reception rule is the default of a pluggable channel
+// layer (reception.go): Options.Reception selects a ReceptionModel —
+// Binary (the paper), Fade (per-receiver deep fades), LossyChannel
+// (per-edge fading), SINRThreshold (equal-power capture), Jam (random
+// receiver jamming). Channel randomness is hashed per (seed, round,
+// endpoints) rather than drawn from a stream, so every kernel, every
+// engine forcing, and the silent-skip fast path agree bit-for-bit under
+// every model; Binary resolves to the unmodified hot paths. A listener
+// duty-cycle schedule (energy.Spec.Schedule) additionally vetoes
+// deliveries to receivers whose radio is scheduled asleep.
 package radio
 
 import (
@@ -170,8 +183,8 @@ type EngineOverrides struct {
 	// BatchBroadcasters / BatchGossipers.
 	ScalarDecisions bool
 	// Kernel pins the delivery kernel instead of the per-round cost model.
-	// Rounds under a positive LossProb always use the serial lossy kernel
-	// regardless (fading draws are transmitter-ordered).
+	// Every reception model is served by every kernel (channel draws are
+	// hashed, not streamed — see reception.go), so the pin is total.
 	Kernel DeliveryKernel
 	// DisableSkip forces round-by-round execution even for UniformRound
 	// protocols.
@@ -209,11 +222,16 @@ type Options struct {
 	Parallel bool
 	// Workers is the parallel kernel's worker count (0 = GOMAXPROCS).
 	Workers int
-	// LossProb is the per-edge fading probability: each (transmitter,
-	// receiver) delivery is independently lost with this probability, in
-	// which case the signal neither delivers nor interferes at that
-	// receiver (a faded signal is below the detection threshold). Supported
-	// by the serial kernel only.
+	// Reception selects the channel's reception model (see ReceptionModel
+	// in reception.go). Nil means Binary() — the paper's exactly-one rule —
+	// unless LossProb is set. Every model runs on every kernel and keeps
+	// the silent-skip fast path.
+	Reception ReceptionModel
+	// LossProb is shorthand for Reception: LossyChannel(LossProb) — the
+	// per-edge fading probability: each (transmitter, receiver) delivery is
+	// independently lost with this probability, in which case the signal
+	// neither delivers nor interferes at that receiver. Mutually exclusive
+	// with an explicit Reception model.
 	LossProb float64
 	// Jammed, when non-nil, returns the receivers whose channel is occupied
 	// by external interference in the given round: a jammed node cannot
@@ -265,8 +283,8 @@ func (o Options) validate() error {
 	if o.LossProb < 0 || o.LossProb >= 1 {
 		return fmt.Errorf("radio: LossProb %v outside [0,1)", o.LossProb)
 	}
-	if o.LossProb > 0 && o.Parallel {
-		return fmt.Errorf("radio: the loss model is supported by the serial kernel only")
+	if o.LossProb > 0 && o.Reception != nil {
+		return fmt.Errorf("radio: Reception and LossProb are mutually exclusive (LossProb is LossyChannel shorthand)")
 	}
 	return nil
 }
@@ -361,10 +379,10 @@ func (sc *Scratch) acquire(n int) {
 // network topology changes over time"): the oblivious protocols never see
 // the graph, so their state is meaningful across re-wirings.
 type BroadcastSession struct {
-	n       int
-	proto   Broadcaster
-	batch   BatchBroadcaster // non-nil when proto implements the fast path
-	channel *rng.RNG         // fading-loss randomness, separate from protocol RNG
+	n        int
+	proto    Broadcaster
+	batch    BatchBroadcaster // non-nil when proto implements the fast path
+	chanSeed uint64           // channel-draw seed, separate from protocol RNG
 
 	informed     Bitset
 	informedList []graph.NodeID
@@ -431,7 +449,11 @@ func NewBroadcastSessionWith(sc *Scratch, n int, src graph.NodeID, p Broadcaster
 		s.fr = newFrontierState(n)
 	}
 	p.Begin(n, src, protoRNG)
-	s.channel = protoRNG.Split(0xc4a881e1)
+	// One Split keeps protocol-stream consumption identical to every prior
+	// release; the child's first draw seeds the hashed channel layer, so
+	// channel randomness is a pure function of the protocol seed (resume-
+	// and kernel-independent; see reception.go).
+	s.chanSeed = protoRNG.Split(0xc4a881e1).Uint64()
 	s.informed.Set(src)
 	s.informedList = append(s.informedList, src)
 	p.OnInformed(0, src)
@@ -514,8 +536,19 @@ func (s *BroadcastSession) Run(g graph.Implicit, opt Options) *Result {
 	if target == 0 {
 		target = s.n
 	}
-	parallel := opt.Parallel ||
-		(engineOverrides.Kernel == KernelParallel && opt.LossProb == 0)
+	// The channel model, resolved once per segment into the capabilities
+	// the kernels consult. Binary resolves to {nil, nil, 1} — the
+	// unmodified hot paths.
+	model := opt.Reception
+	if model == nil {
+		if opt.LossProb > 0 {
+			model = LossyChannel(opt.LossProb)
+		} else {
+			model = Binary()
+		}
+	}
+	caps := model.resolve(s.chanSeed)
+	parallel := opt.Parallel || engineOverrides.Kernel == KernelParallel
 	if parallel && s.par == nil {
 		s.par = newParallelDeliverer(s.n, opt.Workers)
 		if s.sc != nil {
@@ -532,10 +565,10 @@ func (s *BroadcastSession) Run(g graph.Implicit, opt Options) *Result {
 	// reuse is exactly what the mobility epochs do), so pointer identity
 	// cannot prove the topology is unchanged. O(n/64 + uninformed) per Run,
 	// then maintained incrementally in the round loop. Segments that can
-	// never consult it (forced kernels, lossy channel, exact-collision
-	// consumers, graphs whose in-rows are expensive) skip the scan.
+	// never consult it (forced kernels, exact-collision consumers, graphs
+	// whose in-rows are expensive) skip the scan.
 	dg, _ := g.(*graph.Digraph)
-	trackUnin := engineOverrides.Kernel == KernelAuto && opt.LossProb == 0 &&
+	trackUnin := engineOverrides.Kernel == KernelAuto &&
 		!exactCollisions && g.CheapIn()
 	if trackUnin {
 		s.uninSum = uninformedInSum(g, s.informed)
@@ -649,41 +682,52 @@ func (s *BroadcastSession) Run(g graph.Implicit, opt Options) *Result {
 		// time receiver. The distinction matters for gossip; see gossip.go.)
 		// Kernel selection is direction-optimizing: once the frontier's
 		// in-degree sum undercuts the transmitters' out-degree sum (the late
-		// phase), the receiver-centric pull kernel wins. Lossy rounds always
-		// run the serial lossy kernel (fading draws are transmitter-ordered).
-		// The returned slice is kernel scratch, valid until the next round.
+		// phase), the receiver-centric pull kernel wins. Every kernel
+		// resolves receptions through the same channel capabilities, so
+		// selection is model-independent. The returned slice is kernel
+		// scratch, valid until the next round.
 		var delivered []graph.NodeID
 		var collisions int
 		usePull := false
-		if opt.LossProb == 0 {
-			switch engineOverrides.Kernel {
-			case KernelPull:
-				usePull = true
-			case KernelPush, KernelParallel:
-				// forced transmitter-side kernels
-			default:
-				usePull = trackUnin && len(transmitters) > 0 &&
-					s.uninSum+int64(len(transmitters)) < outDegSum(g, transmitters)
-			}
+		switch engineOverrides.Kernel {
+		case KernelPull:
+			usePull = true
+		case KernelPush, KernelParallel:
+			// forced transmitter-side kernels
+		default:
+			usePull = trackUnin && len(transmitters) > 0 &&
+				s.uninSum+int64(len(transmitters)) < outDegSum(g, transmitters)
 		}
 		switch {
 		case usePull:
 			s.fr.sync(s.informed, s.n)
-			delivered, collisions = s.fr.deliver(g, transmitters)
-		case opt.LossProb > 0:
-			delivered, collisions = s.st.deliverLossy(g, transmitters, s.informed, opt.LossProb, s.channel)
+			delivered, collisions = s.fr.deliver(g, round, transmitters, caps)
 		case parallel:
-			delivered, collisions = s.par.deliver(g, transmitters, s.informed)
+			delivered, collisions = s.par.deliver(g, round, transmitters, s.informed, caps)
 		default:
-			delivered, collisions = s.st.deliver(g, transmitters, s.informed)
+			delivered, collisions = s.st.deliver(g, round, transmitters, s.informed, caps)
 		}
+		// Receiver-side vetoes, applied before the frontier removal so a
+		// vetoed node stays uninformed AND on the pull frontier: the jamming
+		// callback, the model's receiver availability, the duty-cycle sleep
+		// gate, and the battery.
 		if opt.Jammed != nil {
 			delivered = dropJammed(delivered, opt.Jammed(round))
 		}
-		if en != nil && !en.DeadReceive() {
-			// A depleted radio is off: it cannot decode, so it never joins
-			// the informed set (both delivery kernels see the same filter).
-			delivered = en.FilterAlive(delivered)
+		if caps.recvOK != nil {
+			delivered = filterRecv(delivered, round, caps.recvOK)
+		}
+		if en != nil {
+			if en.Scheduled() {
+				// A listener whose radio is duty-cycled asleep this round
+				// cannot decode; it keeps paying Sleep and stays uninformed.
+				delivered = en.FilterAwake(delivered, round)
+			}
+			if !en.DeadReceive() {
+				// A depleted radio is off: it cannot decode, so it never
+				// joins the informed set (all kernels see the same filter).
+				delivered = en.FilterAlive(delivered)
+			}
 		}
 		s.collisions += int64(collisions)
 
@@ -825,26 +869,52 @@ func newDeliveryState(n int) *deliveryState {
 	return &deliveryState{hits: make([]int32, n)}
 }
 
-// deliver applies the collision rule for one round: every out-neighbour of a
-// transmitter gets a hit; nodes with exactly one hit receive. Returns the
-// newly informed nodes (in increasing id order) and the number of nodes that
-// experienced a collision (>= 2 hits). The returned slice is scratch, valid
-// until the next deliver/deliverLossy call on this state.
-func (st *deliveryState) deliver(g graph.Implicit, transmitters []graph.NodeID, informed Bitset) (delivered []graph.NodeID, collisions int) {
+// deliver applies the channel's reception rule for one round: every
+// out-neighbour of a transmitter whose signal survives the edge filter gets
+// a hit; nodes with 1..maxHits hits receive (exactly one under the binary
+// model), more collide. Returns the newly informed nodes (in increasing id
+// order) and the number of nodes that experienced a collision (> maxHits
+// surviving hits). The returned slice is scratch, valid until the next
+// deliver call on this state.
+func (st *deliveryState) deliver(g graph.Implicit, round int, transmitters []graph.NodeID, informed Bitset, caps channelCaps) (delivered []graph.NodeID, collisions int) {
 	st.touched = st.touched[:0]
-	if dg, ok := g.(*graph.Digraph); ok {
-		for _, u := range transmitters {
-			for _, w := range dg.Out(u) {
-				if st.hits[w] == 0 {
-					st.touched = append(st.touched, w)
+	dg, _ := g.(*graph.Digraph)
+	if caps.edgeOK == nil {
+		// Binary/capture fast path: the hit loops are branch-free on the
+		// channel, identical to the binary-only kernel.
+		if dg != nil {
+			for _, u := range transmitters {
+				for _, w := range dg.Out(u) {
+					if st.hits[w] == 0 {
+						st.touched = append(st.touched, w)
+					}
+					st.hits[w]++
 				}
-				st.hits[w]++
+			}
+		} else {
+			for _, u := range transmitters {
+				st.row = g.AppendOut(u, st.row[:0])
+				for _, w := range st.row {
+					if st.hits[w] == 0 {
+						st.touched = append(st.touched, w)
+					}
+					st.hits[w]++
+				}
 			}
 		}
 	} else {
 		for _, u := range transmitters {
-			st.row = g.AppendOut(u, st.row[:0])
-			for _, w := range st.row {
+			var row []graph.NodeID
+			if dg != nil {
+				row = dg.Out(u)
+			} else {
+				st.row = g.AppendOut(u, st.row[:0])
+				row = st.row
+			}
+			for _, w := range row {
+				if !caps.edgeOK(round, u, w) {
+					continue // faded below detection threshold
+				}
 				if st.hits[w] == 0 {
 					st.touched = append(st.touched, w)
 				}
@@ -853,58 +923,16 @@ func (st *deliveryState) deliver(g graph.Implicit, transmitters []graph.NodeID, 
 		}
 	}
 	delivered = st.delivered[:0]
+	maxHits := caps.maxHits
 	for _, w := range st.touched {
 		h := st.hits[w]
 		st.hits[w] = 0
-		if h >= 2 {
+		if h > maxHits {
 			collisions++
 			continue
 		}
-		// h == 1: successful reception unless w already knows the message.
-		if informed.Get(w) {
-			continue
-		}
-		delivered = append(delivered, w)
-	}
-	sortNodeIDs(delivered)
-	st.delivered = delivered
-	return delivered, collisions
-}
-
-// deliverLossy is deliver with per-edge fading: each (transmitter, receiver)
-// delivery is independently lost with probability loss, in which case the
-// signal neither delivers nor interferes at that receiver. Channel
-// randomness comes from the session's dedicated stream so protocol RNG
-// consumption is unaffected.
-func (st *deliveryState) deliverLossy(g graph.Implicit, transmitters []graph.NodeID, informed Bitset, loss float64, channel *rng.RNG) (delivered []graph.NodeID, collisions int) {
-	st.touched = st.touched[:0]
-	dg, _ := g.(*graph.Digraph)
-	for _, u := range transmitters {
-		var row []graph.NodeID
-		if dg != nil {
-			row = dg.Out(u)
-		} else {
-			st.row = g.AppendOut(u, st.row[:0])
-			row = st.row
-		}
-		for _, w := range row {
-			if channel.Bernoulli(loss) {
-				continue // faded below detection threshold
-			}
-			if st.hits[w] == 0 {
-				st.touched = append(st.touched, w)
-			}
-			st.hits[w]++
-		}
-	}
-	delivered = st.delivered[:0]
-	for _, w := range st.touched {
-		h := st.hits[w]
-		st.hits[w] = 0
-		if h >= 2 {
-			collisions++
-			continue
-		}
+		// 1 <= h <= maxHits: successful reception unless w already knows
+		// the message.
 		if informed.Get(w) {
 			continue
 		}

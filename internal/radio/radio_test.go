@@ -325,8 +325,8 @@ func TestParallelMatchesSerialKernel(t *testing.T) {
 				}
 			}
 		}
-		ds, cs := serial.deliver(g, txs, informed)
-		dp, cp := par.deliver(g, txs, informed)
+		ds, cs := serial.deliver(g, 1, txs, informed, channelCaps{maxHits: 1})
+		dp, cp := par.deliver(g, 1, txs, informed, channelCaps{maxHits: 1})
 		if cs != cp {
 			t.Fatalf("trial %d: collision counts %d vs %d", trial, cs, cp)
 		}
@@ -633,9 +633,9 @@ func TestLossCanResolveCollisions(t *testing.T) {
 func TestLossProbValidation(t *testing.T) {
 	g := graph.Complete(3)
 	for name, opt := range map[string]Options{
-		"negative":      {MaxRounds: 1, LossProb: -0.1},
-		"one":           {MaxRounds: 1, LossProb: 1},
-		"with parallel": {MaxRounds: 1, LossProb: 0.1, Parallel: true},
+		"negative":       {MaxRounds: 1, LossProb: -0.1},
+		"one":            {MaxRounds: 1, LossProb: 1},
+		"with Reception": {MaxRounds: 1, LossProb: 0.1, Reception: Fade(0.2)},
 	} {
 		func() {
 			defer func() {

@@ -204,7 +204,7 @@ func TestPullKernelAgainstReference(t *testing.T) {
 			}
 		}
 		st := newDeliveryState(n)
-		wantD, _ := st.deliver(g, txs, informed)
+		wantD, _ := st.deliver(g, 1, txs, informed, channelCaps{maxHits: 1})
 
 		// Exact uninformed-side collision count, from first principles.
 		wantColl := 0
@@ -228,7 +228,7 @@ func TestPullKernelAgainstReference(t *testing.T) {
 
 		fr := newFrontierState(n)
 		fr.sync(informed, n)
-		gotD, gotC := fr.deliver(g, txs)
+		gotD, gotC := fr.deliver(g, 1, txs, channelCaps{maxHits: 1})
 		if !equalNodeSlices(gotD, wantD) {
 			t.Fatalf("trial %d: pull delivered %d nodes, push %d", trial, len(gotD), len(wantD))
 		}
