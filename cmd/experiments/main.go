@@ -26,6 +26,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -36,6 +37,7 @@ import (
 	"os/signal"
 	"runtime"
 	"runtime/pprof"
+	"runtime/trace"
 	"strconv"
 	"strings"
 	"syscall"
@@ -43,6 +45,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/expt"
+	"repro/internal/radio"
 )
 
 func main() { os.Exit(run(os.Args[1:], os.Stdout, os.Stderr)) }
@@ -68,21 +71,37 @@ func watchSignals(stderr io.Writer, done <-chan struct{}) <-chan struct{} {
 	interrupt := make(chan struct{})
 	sig := make(chan os.Signal, 2)
 	notifySignals(sig)
-	go func() {
-		select {
-		case s := <-sig:
-			fmt.Fprintf(stderr, "experiments: %v — finishing the in-flight grid point and flushing the checkpoint (signal again to abort immediately)\n", s)
-			close(interrupt)
-		case <-done:
-			return
-		}
+	first := func(s os.Signal) {
+		fmt.Fprintf(stderr, "experiments: %v — finishing the in-flight grid point and flushing the checkpoint (signal again to abort immediately)\n", s)
+		close(interrupt)
+	}
+	second := func() {
 		select {
 		case s := <-sig:
 			fmt.Fprintf(stderr, "experiments: %v again — aborting without flushing\n", s)
 			exitNow(130)
 		case <-done:
 		}
-	}()
+	}
+	select {
+	case s := <-sig:
+		// The signal was already pending when the watcher installed. Honour
+		// it synchronously so the run deterministically stops before its
+		// first grid point — a goroutine-only watcher may not be scheduled
+		// before a short campaign finishes on a loaded single-core machine.
+		first(s)
+		go second()
+	default:
+		go func() {
+			select {
+			case s := <-sig:
+				first(s)
+			case <-done:
+				return
+			}
+			second()
+		}()
+	}
 	return interrupt
 }
 
@@ -128,10 +147,30 @@ func run(args []string, stdout, stderr io.Writer) int {
 		shard      = fs.String("shard", "", "run only shard k of N grid points, as k/N (requires -format jsonl)")
 		cpuProfile = fs.String("cpuprofile", "", "write a CPU profile to this file")
 		memProfile = fs.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = fs.String("trace", "", "write a runtime/trace execution trace to this file")
 		pprofAddr  = fs.String("pprof-addr", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+		parMode    = fs.String("parallelism", "auto", "core split between trial fan-out and rounds-parallel delivery: auto (measured arbiter), trials, or off")
+		calibrate  = fs.Bool("calibrate", false, "run the parallelism calibration probe, print the measurement as JSON, and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+
+	if *calibrate {
+		c := radio.Calibrate()
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(c); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		return 0
+	}
+	switch *parMode {
+	case "auto", "trials", "off":
+	default:
+		fmt.Fprintf(stderr, "experiments: unknown -parallelism %q (want auto, trials, or off)\n", *parMode)
+		return 1
 	}
 
 	if *pprofAddr != "" {
@@ -154,6 +193,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		defer func() {
 			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintln(stderr, "experiments:", err)
+			return 1
+		}
+		defer func() {
+			trace.Stop()
 			f.Close()
 		}()
 	}
@@ -224,7 +278,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 
-	cfg := expt.Config{Full: *full, Seed: *seed, Workers: *workers}
+	cfg := expt.Config{Full: *full, Seed: *seed, Workers: *workers, Parallelism: *parMode}
 	if *implicit {
 		cfg.GraphMode = "implicit"
 	}

@@ -41,9 +41,11 @@ func main() {
 		fatal(err)
 	}
 
-	out := sweep.RunTrials(*trials, *seed, *workers, func(tr sweep.Trial) sweep.Metrics {
+	newScratch := func() any { return radio.NewGossipScratch() }
+	out := sweep.RunTrialsScratch(*trials, *seed, *workers, newScratch, func(tr sweep.Trial) sweep.Metrics {
 		g := topo.Build(tr.Seed)
-		res := radio.RunGossip(g, factory(), rng.New(rng.SubSeed(tr.Seed, 1)), radio.GossipOptions{
+		sc, _ := tr.Scratch.(*radio.GossipScratch)
+		res := radio.RunGossipWith(sc, g, factory(), rng.New(rng.SubSeed(tr.Seed, 1)), radio.GossipOptions{
 			MaxRounds: budget, FullDuplex: *duplex, StopWhenComplete: true,
 		})
 		m := sweep.Metrics{

@@ -71,13 +71,21 @@
 // contract (see README.md and the radio package docs).
 //
 // On top of that sits the sparse round engine. Delivery is
-// direction-optimizing across three kernels selected per round from exact
+// direction-optimizing across four kernels selected per round from exact
 // cost estimates: transmitter-centric push (Σ deg(tx) per round), its
-// receiver-sharded parallel variant, and a receiver-centric pull kernel
+// receiver-sharded parallel variant, a receiver-centric pull kernel
 // that iterates only the uninformed frontier's in-edges
 // (Σ deg(uninformed), the late-phase winner; its collision count covers
 // uninformed receivers only — Options.ExactCollisions pins the
-// transmitter-side count). Orthogonally, uniform-Bernoulli phases opt into
+// transmitter-side count), and a word-parallel dense kernel for the
+// mid-phase (Σ deg(tx) ≥ n on a binary-decidable channel): carry-save
+// hit accumulation into two Bitset planes and 64-receivers-at-a-time
+// resolution, branch-free and transmitter-side exact. Where the cores go
+// is decided by a measured cost model (radio.Calibrate probes effective
+// cores and per-edge kernel costs once per process; sweep.PlanPoint gives
+// trial-level parallelism first claim and hands only spare cores to
+// rounds-parallel delivery) — scheduling varies per machine, results
+// never do. Orthogonally, uniform-Bernoulli phases opt into
 // the cross-round stream contract (radio.UniformRound /
 // radio.UniformGossipRound over radio.TxSet's stream draws): the rounds of
 // one phase form a single Bernoulli stream whose geometric overshoot

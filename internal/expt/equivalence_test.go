@@ -62,6 +62,7 @@ func TestExperimentTablesInvariantUnderEngineConfiguration(t *testing.T) {
 		{"push kernel", radio.EngineOverrides{Kernel: radio.KernelPush}},
 		{"pull kernel", radio.EngineOverrides{Kernel: radio.KernelPull}},
 		{"parallel kernel", radio.EngineOverrides{Kernel: radio.KernelParallel}},
+		{"dense kernel", radio.EngineOverrides{Kernel: radio.KernelDense}},
 		{"skip disabled", radio.EngineOverrides{DisableSkip: true}},
 		{"scalar+pull+noskip", radio.EngineOverrides{
 			ScalarDecisions: true, Kernel: radio.KernelPull, DisableSkip: true}},

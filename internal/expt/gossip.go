@@ -69,10 +69,11 @@ func e6Campaign() campaign.Campaign {
 			case pt.Key[0] == 'a':
 				p0 := pt.Data.(e6Point)
 				p := p0.d / float64(p0.n)
-				return sweep.RunTrials(trials(cfg), seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
+				return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+					ts := scratchOf(tr)
 					g := graph.GNPDirected(p0.n, p, rng.New(tr.Seed))
 					a := core.NewAlgorithm2(p)
-					res := radio.RunGossip(g, a, rng.New(rng.SubSeed(tr.Seed, 1)), radio.GossipOptions{
+					res := radio.RunGossipWith(ts.gossip, g, a, rng.New(rng.SubSeed(tr.Seed, 1)), radio.GossipOptions{
 						MaxRounds: a.RoundBudget(p0.n), StopWhenComplete: true,
 					})
 					return gossipMetrics(res)
@@ -89,9 +90,10 @@ func e6Campaign() campaign.Campaign {
 					makeProto = func() radio.Gossiper { return &baseline.TDMAGossip{} }
 					caps = n * 64
 				}
-				return sweep.RunTrials(trials(cfg), seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
+				return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+					ts := scratchOf(tr)
 					g := graph.GNPDirected(n, p, rng.New(tr.Seed))
-					res := radio.RunGossip(g, makeProto(), rng.New(rng.SubSeed(tr.Seed, 1)),
+					res := radio.RunGossipWith(ts.gossip, g, makeProto(), rng.New(rng.SubSeed(tr.Seed, 1)),
 						radio.GossipOptions{MaxRounds: caps, StopWhenComplete: true})
 					return gossipMetrics(res)
 				})
@@ -112,10 +114,11 @@ func e6Campaign() campaign.Campaign {
 						return m
 					})
 				}
-				return sweep.RunTrials(trials(cfg), seed, cfg.Workers, func(tr sweep.Trial) sweep.Metrics {
+				return runSweep(cfg, seed, func(tr sweep.Trial) sweep.Metrics {
+					ts := scratchOf(tr)
 					g := graph.GNPDirected(nc, pc, rng.New(tr.Seed))
 					a := core.NewAlgorithm2(pc)
-					res := radio.RunGossip(g, a, rng.New(rng.SubSeed(tr.Seed, 1)), radio.GossipOptions{
+					res := radio.RunGossipWith(ts.gossip, g, a, rng.New(rng.SubSeed(tr.Seed, 1)), radio.GossipOptions{
 						MaxRounds: a.RoundBudget(nc), StopWhenComplete: true,
 					})
 					m := sweep.Metrics{"success": 0, "rounds": math.NaN(), "tx": float64(res.TotalTx)}

@@ -1,6 +1,10 @@
 package radio
 
-import "repro/internal/graph"
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
 
 // Bitset is a word-packed set of node ids: the engine's informed-set
 // representation, shared with the delivery kernels. At n nodes it costs
@@ -25,4 +29,46 @@ func (b Bitset) Reset() {
 	for i := range b {
 		b[i] = 0
 	}
+}
+
+// Word-level operations: the dense delivery kernel (dense.go) treats Bitsets
+// as arrays of 64-receiver lanes, so set algebra over whole rounds costs
+// n/64 word operations instead of n branchy per-node updates. All operands
+// must have equal length (the kernels size every per-session Bitset with
+// NewBitset(n), so this holds by construction).
+
+// OrWords folds o into b word-wise: b |= o.
+func (b Bitset) OrWords(o Bitset) {
+	for i, w := range o {
+		b[i] |= w
+	}
+}
+
+// AndNotWords clears from b every bit set in o: b &^= o.
+func (b Bitset) AndNotWords(o Bitset) {
+	for i, w := range o {
+		b[i] &^= w
+	}
+}
+
+// Count returns the number of set bits (popcount over words).
+func (b Bitset) Count() int {
+	c := 0
+	for _, w := range b {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// AppendIDs appends the set ids to dst in ascending order via per-word
+// popcount iteration and returns the extended slice.
+func (b Bitset) AppendIDs(dst []graph.NodeID) []graph.NodeID {
+	for wi, w := range b {
+		base := wi << 6
+		for w != 0 {
+			dst = append(dst, graph.NodeID(base+bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+	return dst
 }

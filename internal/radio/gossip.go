@@ -110,13 +110,16 @@ func (s rumorSet) clone() rumorSet {
 type GossipSession struct {
 	n          int
 	know       []rumorSet
+	slab       []uint64 // single backing store for all n rumor sets
 	knownPairs int64
 	rounds     int // absolute round clock across segments
 
 	// scratch buffers reused across rounds and segments
-	hits     []int32
-	lastFrom []graph.NodeID
-	isTx     []bool
+	hits         []int32
+	lastFrom     []graph.NodeID
+	isTx         []bool
+	transmitters []graph.NodeID
+	touched      []graph.NodeID
 }
 
 // NewGossipSession creates a session for n nodes, each knowing its own rumor.
@@ -124,18 +127,69 @@ func NewGossipSession(n int) *GossipSession {
 	if n < 1 {
 		panic("radio: gossip session needs n >= 1")
 	}
+	words := (n + 63) / 64
+	// One slab sliced into n windows instead of n individual rumor sets:
+	// the allocation count per session drops from O(n) to O(1) (the win
+	// BenchmarkPrimitiveGossipRun gates), and the sets sit contiguous for
+	// the union-heavy merge loop.
 	s := &GossipSession{
-		n:        n,
-		know:     make([]rumorSet, n),
-		hits:     make([]int32, n),
-		lastFrom: make([]graph.NodeID, n),
-		isTx:     make([]bool, n),
+		n:            n,
+		know:         make([]rumorSet, n),
+		slab:         make([]uint64, n*words),
+		hits:         make([]int32, n),
+		lastFrom:     make([]graph.NodeID, n),
+		isTx:         make([]bool, n),
+		transmitters: make([]graph.NodeID, 0, n),
+		touched:      make([]graph.NodeID, 0, n),
 	}
 	for v := 0; v < n; v++ {
-		s.know[v] = newRumorSet(n)
+		s.know[v] = rumorSet(s.slab[v*words : (v+1)*words])
 		s.know[v].add(graph.NodeID(v))
 	}
 	s.knownPairs = int64(n)
+	return s
+}
+
+// reset returns the session to its initial state — each node knowing only
+// its own rumor, round clock at zero — without releasing any storage.
+func (s *GossipSession) reset() {
+	for i := range s.slab {
+		s.slab[i] = 0
+	}
+	for v := 0; v < s.n; v++ {
+		s.know[v].add(graph.NodeID(v))
+		s.hits[v] = 0
+		s.isTx[v] = false
+	}
+	s.knownPairs = int64(s.n)
+	s.rounds = 0
+}
+
+// GossipScratch recycles a gossip session across runs, the gossip analogue
+// of Scratch for broadcast: trial loops running many same-n gossip
+// simulations reset one session's storage per run instead of reallocating
+// the n rumor sets and engine buffers. A GossipScratch must not be shared
+// between concurrent runs (give each sweep worker its own, as
+// sweep.RunTrialsScratch does).
+type GossipScratch struct {
+	sess *GossipSession
+}
+
+// NewGossipScratch returns an empty scratch; buffers materialise on first use.
+func NewGossipScratch() *GossipScratch { return &GossipScratch{} }
+
+// NewGossipSessionWith is NewGossipSession with storage borrowed from sc:
+// a same-n session held by the scratch is reset and reused, anything else is
+// allocated fresh and parked in sc for the next call. sc may be nil.
+func NewGossipSessionWith(sc *GossipScratch, n int) *GossipSession {
+	if sc != nil && sc.sess != nil && sc.sess.n == n {
+		sc.sess.reset()
+		return sc.sess
+	}
+	s := NewGossipSession(n)
+	if sc != nil {
+		sc.sess = s
+	}
 	return s
 }
 
@@ -191,8 +245,8 @@ func (s *GossipSession) Run(g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt
 	skipper, _ := p.(UniformGossipRound)
 	canSkip := skipper != nil && !engineOverrides.DisableSkip && !opt.RecordHistory
 	totalTarget := int64(n) * int64(n)
-	transmitters := make([]graph.NodeID, 0, n)
-	touched := make([]graph.NodeID, 0, n)
+	transmitters := s.transmitters[:0]
+	touched := s.touched[:0]
 
 	start := s.rounds
 	segEnd := start + opt.MaxRounds
@@ -244,8 +298,10 @@ func (s *GossipSession) Run(g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt
 			switch engineOverrides.Kernel {
 			case KernelPull:
 				usePull = true
-			case KernelPush, KernelParallel:
-				// forced sender-centric
+			case KernelPush, KernelParallel, KernelDense:
+				// forced sender-centric (gossip exchanges rumor sets per
+				// edge, so the broadcast-only dense bitset kernel degrades
+				// to push here)
 			default:
 				var inTx, outTx int64
 				for _, u := range transmitters {
@@ -346,6 +402,8 @@ func (s *GossipSession) Run(g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt
 			}
 		}
 	}
+	s.transmitters = transmitters
+	s.touched = touched
 	for _, c := range res.PerNodeTx {
 		if int(c) > res.MaxNodeTx {
 			res.MaxNodeTx = int(c)
@@ -367,4 +425,11 @@ func uniformGossipProb(u UniformGossipRound, enabled bool, round int) (float64, 
 // single-segment session. See GossipSession.Run for the semantics.
 func RunGossip(g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt GossipOptions) *GossipResult {
 	return NewGossipSession(g.N()).Run(g, p, protoRNG, opt)
+}
+
+// RunGossipWith is RunGossip with session storage borrowed from sc (see
+// GossipScratch): the trial-loop form that keeps repeated same-n runs from
+// reallocating per-node rumor sets.
+func RunGossipWith(sc *GossipScratch, g *graph.Digraph, p Gossiper, protoRNG *rng.RNG, opt GossipOptions) *GossipResult {
+	return NewGossipSessionWith(sc, g.N()).Run(g, p, protoRNG, opt)
 }

@@ -53,6 +53,7 @@ func TestImplicitBitIdenticalToMaterialized(t *testing.T) {
 		{"push", EngineOverrides{Kernel: KernelPush}},
 		{"pull", EngineOverrides{Kernel: KernelPull}},
 		{"parallel", EngineOverrides{Kernel: KernelParallel}},
+		{"dense", EngineOverrides{Kernel: KernelDense}},
 		{"noskip", EngineOverrides{DisableSkip: true}},
 		{"scalar-pull-noskip", EngineOverrides{ScalarDecisions: true, Kernel: KernelPull, DisableSkip: true}},
 	}

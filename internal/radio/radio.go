@@ -162,8 +162,10 @@ type DeliveryKernel int
 const (
 	// KernelAuto lets the engine pick per round from the cost estimates
 	// (the default): pull when the uninformed frontier's in-degree sum
-	// undercuts the transmitters' out-degree sum, push otherwise (parallel
-	// push when Options.Parallel).
+	// undercuts the transmitters' out-degree sum; the word-parallel dense
+	// kernel when the transmitters' out-degree sum reaches n on a
+	// materialized graph under a dense-capable channel model (see dense.go);
+	// push otherwise (parallel push when Options.Parallel).
 	KernelAuto DeliveryKernel = iota
 	// KernelPush forces the serial transmitter-centric kernel.
 	KernelPush
@@ -171,6 +173,10 @@ const (
 	KernelPull
 	// KernelParallel forces the receiver-sharded parallel push kernel.
 	KernelParallel
+	// KernelDense forces the word-parallel carry-save dense kernel for every
+	// round the channel model supports (maxHits == 1, no per-edge filter);
+	// unsupported models fall back to serial push.
+	KernelDense
 )
 
 // EngineOverrides force specific engine code paths, for the equivalence
@@ -345,6 +351,7 @@ type Scratch struct {
 	st           *deliveryState
 	fr           *frontierState
 	par          *parallelDeliverer
+	dn           *denseState   // lazily created on the first dense round
 	energy       *energy.State // lazily created on the first energy-enabled session
 }
 
@@ -363,6 +370,7 @@ func (sc *Scratch) acquire(n int) {
 		sc.st = newDeliveryState(n)
 		sc.fr = newFrontierState(n)
 		sc.par = nil
+		sc.dn = nil
 		return
 	}
 	sc.informed.Reset()
@@ -403,6 +411,7 @@ type BroadcastSession struct {
 	st  *deliveryState
 	fr  *frontierState
 	par *parallelDeliverer
+	dn  *denseState
 
 	// Pull-kernel cost tracking: Σ InDegree over uninformed nodes for the
 	// current Run segment's graph, decremented as nodes are informed.
@@ -442,6 +451,7 @@ func NewBroadcastSessionWith(sc *Scratch, n int, src graph.NodeID, p Broadcaster
 		s.st = sc.st
 		s.fr = sc.fr
 		s.par = sc.par
+		s.dn = sc.dn
 	} else {
 		s.informed = NewBitset(n)
 		s.perNodeTx = make([]int32, n)
@@ -688,20 +698,47 @@ func (s *BroadcastSession) Run(g graph.Implicit, opt Options) *Result {
 		// scratch, valid until the next round.
 		var delivered []graph.NodeID
 		var collisions int
-		usePull := false
+		usePull, useDense := false, false
 		switch engineOverrides.Kernel {
 		case KernelPull:
 			usePull = true
+		case KernelDense:
+			// Forced dense runs every round the channel supports; rounds it
+			// cannot resolve exactly fall back to serial push.
+			useDense = denseOK(caps)
 		case KernelPush, KernelParallel:
 			// forced transmitter-side kernels
 		default:
-			usePull = trackUnin && len(transmitters) > 0 &&
-				s.uninSum+int64(len(transmitters)) < outDegSum(g, transmitters)
+			if len(transmitters) > 0 {
+				outSum := int64(-1) // computed at most once, shared by both estimates
+				if trackUnin {
+					outSum = outDegSum(g, transmitters)
+					usePull = s.uninSum+int64(len(transmitters)) < outSum
+				}
+				// Dense pays O(n/64) resolution regardless of density, so it
+				// only wins once the per-edge work it strips reaches ~n; the
+				// out-degree scan that prices that is only O(1)-per-node on a
+				// materialized CSR. Rounds-parallel keeps its shards instead.
+				if !usePull && !parallel && dg != nil && denseOK(caps) {
+					if outSum < 0 {
+						outSum = outDegSum(g, transmitters)
+					}
+					useDense = outSum >= int64(s.n)
+				}
+			}
 		}
 		switch {
 		case usePull:
 			s.fr.sync(s.informed, s.n)
 			delivered, collisions = s.fr.deliver(g, round, transmitters, caps)
+		case useDense:
+			if s.dn == nil {
+				s.dn = newDenseState(s.n)
+				if s.sc != nil {
+					s.sc.dn = s.dn
+				}
+			}
+			delivered, collisions = s.dn.deliver(g, transmitters, s.informed)
 		case parallel:
 			delivered, collisions = s.par.deliver(g, round, transmitters, s.informed, caps)
 		default:

@@ -25,6 +25,7 @@ var receptionForcings = []struct {
 	{"push", EngineOverrides{Kernel: KernelPush}},
 	{"pull", EngineOverrides{Kernel: KernelPull}},
 	{"parallel", EngineOverrides{Kernel: KernelParallel}},
+	{"dense", EngineOverrides{Kernel: KernelDense}},
 	{"noskip", EngineOverrides{DisableSkip: true}},
 	{"scalar-pull-noskip", EngineOverrides{ScalarDecisions: true, Kernel: KernelPull, DisableSkip: true}},
 }

@@ -110,6 +110,7 @@ func TestEngineConfigurationsBitIdentical(t *testing.T) {
 		{"push", EngineOverrides{Kernel: KernelPush}},
 		{"pull", EngineOverrides{Kernel: KernelPull}},
 		{"parallel", EngineOverrides{Kernel: KernelParallel}},
+		{"dense", EngineOverrides{Kernel: KernelDense}},
 		{"noskip", EngineOverrides{DisableSkip: true}},
 		{"scalar-pull-noskip", EngineOverrides{ScalarDecisions: true, Kernel: KernelPull, DisableSkip: true}},
 	}
@@ -156,12 +157,14 @@ func TestKernelForcingsPreserveHistory(t *testing.T) {
 		base := run(EngineOverrides{})
 		push := run(EngineOverrides{Kernel: KernelPush})
 		par := run(EngineOverrides{Kernel: KernelParallel})
+		dense := run(EngineOverrides{Kernel: KernelDense})
 		pull := run(EngineOverrides{Kernel: KernelPull})
 		SetEngineOverrides(EngineOverrides{})
 
 		// Default (history on) must be collision-exact, i.e. identical to
-		// forced push, including per-round collision counts.
-		if !resultsEqual(base, push) || !resultsEqual(base, par) {
+		// forced push, including per-round collision counts. The dense
+		// carry-save kernel is transmitter-side exact too.
+		if !resultsEqual(base, push) || !resultsEqual(base, par) || !resultsEqual(base, dense) {
 			t.Fatalf("%s: transmitter-side kernels diverge under RecordHistory", gname)
 		}
 		assertSameResult(t, gname+"/pull-history", base, pull)

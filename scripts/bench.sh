@@ -52,16 +52,40 @@ if [[ -z "${OUT}" ]]; then
 fi
 TXT="${OUT%.json}.txt"
 
+# Machine metadata: GOMAXPROCS, NumCPU, and the calibration probe's measured
+# effective cores and per-edge kernel costs, so trajectory points recorded on
+# different containers are comparable. The probe runs in the benched tree
+# (BENCH_ROOT may predate -calibrate, so tolerate failure).
+CAL_JSON="$(go run ./cmd/experiments -calibrate 2>/dev/null | tr -d '\n' | tr -s ' ' || true)"
+
 echo "running go test -bench=${PATTERN} -benchmem -count=${COUNT} (tier: ${BENCH_FILTER}) -> ${OUT}" >&2
 status=0
 go test -run '^$' ${TIER_FLAGS[@]+"${TIER_FLAGS[@]}"} -bench="${PATTERN}" -benchmem -count="${COUNT}" \
   -json . > "${OUT}" || status=$?
 
-# Benchstat-compatible text form: the benchmark result lines plus the
-# goos/goarch/pkg/cpu context header.
+# Stamp the machine metadata into the JSON stream as one extra line (the
+# Action marks it as harness metadata, not a go test event).
+if [[ -n "${CAL_JSON}" ]]; then
+  printf '{"Action":"bench-meta","Calibration":%s}\n' "${CAL_JSON}" >> "${OUT}"
+fi
+
+# Benchstat-compatible text form: the calibration context as `key: value`
+# configuration lines (benchstat groups results by them), then the benchmark
+# result lines plus the goos/goarch/pkg/cpu context header.
 python3 - "${OUT}" > "${TXT}" <<'EOF'
 import json, sys
-for line in open(sys.argv[1]):
+lines = open(sys.argv[1]).read().splitlines(keepends=True)
+for line in lines:
+    try:
+        ev = json.loads(line)
+    except ValueError:
+        continue
+    cal = ev.get("Calibration")
+    if ev.get("Action") == "bench-meta" and cal:
+        sys.stdout.write("gomaxprocs: %s\n" % cal.get("GoMaxProcs", ""))
+        sys.stdout.write("numcpu: %s\n" % cal.get("NumCPU", ""))
+        sys.stdout.write("effective-cores: %.2f\n" % cal.get("EffectiveCores", 0.0))
+for line in lines:
     try:
         ev = json.loads(line)
     except ValueError:
