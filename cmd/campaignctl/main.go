@@ -12,10 +12,13 @@
 //
 // `wait` blocks until the campaign finishes: exit 0 when every point
 // completed, exit 4 when it completed degraded (holes in the failure
-// manifest), exit 1 on error or timeout.
+// manifest), exit 1 on error or timeout. Transient daemon outages (a
+// campaignd restart mid-campaign) do not fail the wait: the poll loop
+// keeps waiting through them until the overall timeout.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -46,6 +49,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return usage(stderr)
 	}
 	c := jobqueue.NewClient(*daemon)
+	ctx := context.Background()
 	cmd, rest := rest[0], rest[1:]
 
 	fail := func(err error) int {
@@ -82,7 +86,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *implicit {
 			mode = "implicit"
 		}
-		st, err := c.Submit(jobqueue.JobSpec{
+		st, err := c.Submit(ctx, jobqueue.JobSpec{
 			ID:          *id,
 			Experiments: strings.Split(*expts, ","),
 			Full:        *full,
@@ -101,7 +105,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(rest) != 1 {
 			return usage(stderr)
 		}
-		st, err := c.Status(rest[0])
+		st, err := c.Status(ctx, rest[0])
 		if err != nil {
 			return fail(err)
 		}
@@ -118,34 +122,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if fs.NArg() != 1 {
 			return usage(stderr)
 		}
-		job := fs.Arg(0)
-		deadline := time.Now().Add(*timeout)
-		for {
-			st, err := c.Status(job)
-			if err != nil {
-				return fail(err)
-			}
-			fmt.Fprintf(stderr, "campaignctl: %s: %d/%d done, %d leased, %d failed, eta %.0fs\n",
-				job, st.Done, st.Total, st.Leased, st.Failed, st.ETASeconds)
-			if st.State == "complete" {
-				if st.Failed > 0 {
-					fmt.Fprintf(stderr, "campaignctl: %s completed DEGRADED: %d point(s) in the failure manifest\n", job, st.Failed)
-					return 4
-				}
-				fmt.Fprintf(stderr, "campaignctl: %s completed clean (%d point(s))\n", job, st.Done)
-				return 0
-			}
-			if time.Now().After(deadline) {
-				return fail(fmt.Errorf("timed out waiting for %s (%d/%d done)", job, st.Done, st.Total))
-			}
-			time.Sleep(*poll)
-		}
+		return waitForJob(c, fs.Arg(0), *timeout, *poll, stderr)
 
 	case "records":
 		if len(rest) != 1 {
 			return usage(stderr)
 		}
-		if err := c.Records(rest[0], stdout); err != nil {
+		if err := c.Records(ctx, rest[0], stdout); err != nil {
 			return fail(err)
 		}
 		return 0
@@ -154,21 +137,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(rest) != 1 {
 			return usage(stderr)
 		}
-		m, err := c.ManifestOf(rest[0])
+		m, err := c.ManifestOf(ctx, rest[0])
 		if err != nil {
 			return fail(err)
 		}
 		return printJSON(m)
 
 	case "jobs":
-		jobs, err := c.Jobs()
+		jobs, err := c.Jobs(ctx)
 		if err != nil {
 			return fail(err)
 		}
 		return printJSON(map[string]any{"jobs": jobs})
 
 	case "health":
-		h, err := c.Healthz()
+		h, err := c.Healthz(ctx)
 		if err != nil {
 			return fail(err)
 		}
@@ -177,5 +160,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	default:
 		fmt.Fprintf(stderr, "campaignctl: unknown command %q\n", cmd)
 		return usage(stderr)
+	}
+}
+
+// waitForJob polls a job to completion. Exit codes: 0 clean, 4 degraded
+// (completed with failure-manifest holes), 1 on timeout or a permanent
+// error. A transient error — the daemon down for a restart — is reported
+// and waited through: wait's contract is about the campaign, not about
+// any one daemon process serving it.
+func waitForJob(c *jobqueue.Client, job string, timeout, poll time.Duration, stderr io.Writer) int {
+	ctx := context.Background()
+	deadline := time.Now().Add(timeout)
+	for {
+		st, err := c.Status(ctx, job)
+		if err != nil {
+			if !jobqueue.Retryable(err) {
+				fmt.Fprintln(stderr, "campaignctl:", err)
+				return 1
+			}
+			if time.Now().After(deadline) {
+				fmt.Fprintf(stderr, "campaignctl: timed out waiting for %s (last error: %v)\n", job, err)
+				return 1
+			}
+			fmt.Fprintf(stderr, "campaignctl: %s: daemon temporarily unreachable (%v); kept waiting\n", job, err)
+			time.Sleep(poll)
+			continue
+		}
+		fmt.Fprintf(stderr, "campaignctl: %s: %d/%d done, %d leased, %d failed, eta %.0fs\n",
+			job, st.Done, st.Total, st.Leased, st.Failed, st.ETASeconds)
+		if st.State == "complete" {
+			if st.Failed > 0 {
+				fmt.Fprintf(stderr, "campaignctl: %s completed DEGRADED: %d point(s) in the failure manifest\n", job, st.Failed)
+				return 4
+			}
+			fmt.Fprintf(stderr, "campaignctl: %s completed clean (%d point(s))\n", job, st.Done)
+			return 0
+		}
+		if time.Now().After(deadline) {
+			fmt.Fprintf(stderr, "campaignctl: timed out waiting for %s (%d/%d done)\n", job, st.Done, st.Total)
+			return 1
+		}
+		time.Sleep(poll)
 	}
 }

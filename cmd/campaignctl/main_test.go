@@ -1,0 +1,123 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/jobqueue"
+)
+
+// scriptedDaemon serves a canned sequence of status answers, one per
+// request; the last answer repeats. A nil entry means "be down for this
+// poll" (respond 503).
+type scriptedDaemon struct {
+	mu      sync.Mutex
+	answers []*jobqueue.JobStatus
+	i       int
+}
+
+func (s *scriptedDaemon) handler(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	st := s.answers[s.i]
+	if s.i < len(s.answers)-1 {
+		s.i++
+	}
+	s.mu.Unlock()
+	if st == nil {
+		http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+		return
+	}
+	json.NewEncoder(w).Encode(st) //nolint:errcheck
+}
+
+func status(state string, done, total, failed int) *jobqueue.JobStatus {
+	return &jobqueue.JobStatus{ID: "job-1", State: state, Done: done, Total: total, Failed: failed}
+}
+
+// TestWaitForJob drives waitForJob directly against scripted daemon
+// behaviour, pinning the exit-code contract: 0 clean, 4 degraded, 1 on
+// permanent error or timeout — and the wait-through-downtime path.
+func TestWaitForJob(t *testing.T) {
+	cases := []struct {
+		name    string
+		answers []*jobqueue.JobStatus
+		status  int // when set (with answers nil), every poll returns this HTTP status
+		timeout time.Duration
+		want    int
+		stderr  string
+	}{
+		{
+			name:    "running then clean",
+			answers: []*jobqueue.JobStatus{status("running", 3, 6, 0), status("complete", 6, 6, 0)},
+			want:    0,
+			stderr:  "completed clean",
+		},
+		{
+			name:    "degraded completion",
+			answers: []*jobqueue.JobStatus{status("complete", 5, 6, 1)},
+			want:    4,
+			stderr:  "completed DEGRADED",
+		},
+		{
+			name:    "daemon outage mid-wait is waited through",
+			answers: []*jobqueue.JobStatus{status("running", 2, 6, 0), nil, nil, status("complete", 6, 6, 0)},
+			want:    0,
+			stderr:  "daemon temporarily unreachable",
+		},
+		{
+			name:   "permanent error fails immediately",
+			status: http.StatusNotFound,
+			want:   1,
+			stderr: "HTTP 404",
+		},
+		{
+			name:    "timeout while daemon down",
+			answers: []*jobqueue.JobStatus{nil},
+			timeout: 60 * time.Millisecond,
+			want:    1,
+			stderr:  "timed out waiting",
+		},
+		{
+			name:    "timeout while still running",
+			answers: []*jobqueue.JobStatus{status("running", 1, 6, 0)},
+			timeout: 60 * time.Millisecond,
+			want:    1,
+			stderr:  "timed out waiting",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var h http.HandlerFunc
+			if tc.answers != nil {
+				h = (&scriptedDaemon{answers: tc.answers}).handler
+			} else {
+				h = func(w http.ResponseWriter, r *http.Request) {
+					http.Error(w, `{"error":"no such job"}`, tc.status)
+				}
+			}
+			srv := httptest.NewServer(h)
+			defer srv.Close()
+			c := jobqueue.NewClient(srv.URL)
+			// No transparent client retry: the test exercises waitForJob's
+			// own poll-through-outage loop, not the client's backoff.
+			c.Retry = jobqueue.RetryPolicy{}
+			timeout := tc.timeout
+			if timeout == 0 {
+				timeout = 5 * time.Second
+			}
+			var stderr strings.Builder
+			got := waitForJob(c, "job-1", timeout, 5*time.Millisecond, &stderr)
+			if got != tc.want {
+				t.Fatalf("exit = %d, want %d\nstderr:\n%s", got, tc.want, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.stderr) {
+				t.Fatalf("stderr missing %q:\n%s", tc.stderr, stderr.String())
+			}
+		})
+	}
+}

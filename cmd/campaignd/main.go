@@ -23,6 +23,20 @@
 // campaign executed across any fleet, with any amount of worker churn,
 // yields records identical to one uninterrupted single-process run.
 //
+// The daemon itself survives death: queue state (jobs, leases, attempt
+// counts, backoff deadlines) is persisted to a write-ahead log plus
+// snapshot under -state (default: the -data directory), so a campaignd
+// killed at any instant — SIGKILL included — and restarted over the same
+// -state and -data directories resumes every campaign exactly where it
+// stopped. Workers reconnect unaided; completions that arrive from the
+// outage window are accepted or dup-discarded.
+//
+// Shutdown semantics: on the first SIGTERM/SIGINT the daemon drains —
+// it stops granting leases, finishes in-flight HTTP exchanges, folds the
+// WAL into a final snapshot, and exits 0. A second signal hard-exits
+// immediately (the WAL is fsync'd per append, so even that loses
+// nothing).
+//
 // See README.md ("The campaign daemon") for the API and the fault model.
 package main
 
@@ -48,6 +62,8 @@ func run() int {
 		addr       = flag.String("addr", "127.0.0.1:8655", "listen address (use :0 for an ephemeral port)")
 		addrFile   = flag.String("addr-file", "", "write the bound address to this file once listening (for scripts)")
 		dataDir    = flag.String("data", "campaignd-data", "root directory for per-job checkpoint namespaces")
+		stateDir   = flag.String("state", "", "durable queue state directory: wal.jsonl + snapshot.json (default: the -data directory)")
+		compactN   = flag.Int("wal-compact", 1024, "WAL appends between snapshot compactions")
 		leaseTTL   = flag.Duration("lease", 30*time.Second, "lease time-to-live without a heartbeat")
 		hbTimeout  = flag.Duration("heartbeat-timeout", 0, "declare a worker lost after this silence (default 3/4 of -lease)")
 		maxTries   = flag.Int("max-attempts", 4, "grants per point before it lands in the failure manifest")
@@ -56,10 +72,15 @@ func run() int {
 		sweepEvery = flag.Duration("sweep", time.Second, "lease-expiry sweep interval")
 	)
 	flag.Parse()
+	if *stateDir == "" {
+		*stateDir = *dataDir
+	}
 
 	q, err := jobqueue.NewQueue(jobqueue.Options{
 		DataDir:          *dataDir,
 		Expand:           exptrun.Expand,
+		StateDir:         *stateDir,
+		CompactEvery:     *compactN,
 		LeaseTTL:         *leaseTTL,
 		HeartbeatTimeout: *hbTimeout,
 		MaxAttempts:      *maxTries,
@@ -87,8 +108,8 @@ func run() int {
 			return 1
 		}
 	}
-	fmt.Fprintf(os.Stderr, "campaignd: listening on %s (data %s, lease %v, max attempts %d)\n",
-		bound, *dataDir, *leaseTTL, *maxTries)
+	fmt.Fprintf(os.Stderr, "campaignd: listening on %s (data %s, state %s, lease %v, max attempts %d)\n",
+		bound, *dataDir, *stateDir, *leaseTTL, *maxTries)
 
 	stop := make(chan struct{})
 	go srv.RunSweeper(*sweepEvery, stop)
@@ -101,17 +122,31 @@ func run() int {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	select {
 	case s := <-sig:
-		fmt.Fprintf(os.Stderr, "campaignd: %v — shutting down (sinks flushed; resubmit jobs with resume to continue)\n", s)
+		fmt.Fprintf(os.Stderr, "campaignd: %v — draining (no new leases; state snapshotted; restart with the same -state to resume)\n", s)
 	case err := <-errCh:
 		fmt.Fprintln(os.Stderr, "campaignd:", err)
 		close(stop)
 		q.Close()
 		return 1
 	}
+	// Graceful drain: stop granting leases, let in-flight exchanges
+	// finish, then snapshot and exit 0. A second signal hard-exits — the
+	// per-append fsync'd WAL makes even that recoverable.
+	q.Drain()
 	close(stop)
-	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-	defer cancel()
-	hs.Shutdown(ctx) //nolint:errcheck // best-effort drain
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx) //nolint:errcheck // best-effort drain
+	}()
+	select {
+	case <-done:
+	case s := <-sig:
+		fmt.Fprintf(os.Stderr, "campaignd: second %v — hard exit\n", s)
+		return 130
+	}
 	if err := q.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "campaignd:", err)
 		return 1

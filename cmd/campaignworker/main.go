@@ -12,6 +12,13 @@
 // the daemon requeues the point and another worker reruns it with the
 // same derived seed, producing the identical record.
 //
+// The loop also survives the daemon: registration, acquire and report
+// delivery retry transient failures with capped exponential backoff, a
+// finished record is re-sent through arbitrary daemon downtime rather
+// than abandoned, and after an outage the worker re-registers on its
+// next successful heartbeat. A campaignd restarted over the same -state
+// directory picks the fleet back up without any worker restarting.
+//
 // Chaos flags (fault injection for tests and the CI smoke job):
 //
 //	-chaos.kill-after-points N   complete N points, acquire one more

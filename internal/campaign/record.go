@@ -310,13 +310,44 @@ func RepairCheckpoint(path string) (*ResultSet, LoadReport, error) {
 // RepairCheckpoint — and the damage report.
 func loadCheckpoint(path string) (*ResultSet, int64, LoadReport, error) {
 	rs := NewResultSet()
+	cleanLen, rep, err := ScanJSONL(path, func(line []byte) error {
+		var r Record
+		if err := json.Unmarshal(line, &r); err != nil {
+			return fmt.Errorf("corrupt record (not a torn tail — the line is newline-terminated): %w", err)
+		}
+		if r.Campaign == "" || r.Point == "" {
+			return fmt.Errorf("record missing campaign/point")
+		}
+		rs.Add(&r)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, rep, err
+	}
+	return rs, cleanLen, rep, nil
+}
+
+// ScanJSONL walks an append-only JSONL stream with the checkpoint sink's
+// damage tolerance, handing every newline-terminated non-blank line to fn.
+// An unterminated final line — the torn tail of a killed append, the one
+// malformation a prefix-only partial write can produce — is excluded and
+// reported; terminated blank lines are tolerated and counted. A fn error
+// aborts the scan wrapped with the line number and byte offset: a
+// terminated line that fails to parse was written whole and then
+// corrupted, which callers must treat as real damage, never as a benign
+// tear. Returns the clean length — the byte offset just past the last
+// accepted line, the truncation target for in-place tail repair — and the
+// damage report (fn successes counted in Records). A missing file scans
+// as empty. The jobqueue write-ahead log shares this machinery with the
+// record checkpoints.
+func ScanJSONL(path string, fn func(line []byte) error) (int64, LoadReport, error) {
 	var rep LoadReport
 	f, err := os.Open(path)
 	if os.IsNotExist(err) {
-		return rs, 0, rep, nil
+		return 0, rep, nil
 	}
 	if err != nil {
-		return nil, 0, rep, fmt.Errorf("campaign: open checkpoint: %w", err)
+		return 0, rep, fmt.Errorf("campaign: open %s: %w", path, err)
 	}
 	defer f.Close()
 
@@ -340,20 +371,15 @@ func loadCheckpoint(path string) (*ResultSet, int64, LoadReport, error) {
 				}
 			case !terminated:
 				// The torn tail of a killed append (necessarily the final
-				// chunk), even if it happens to parse: every sink write ends
+				// chunk), even if it happens to parse: every append ends
 				// with a newline, so this line was cut mid-write. Excluded
-				// from the set and from cleanLen; RepairCheckpoint truncates
+				// from the scan and from cleanLen; tail repair truncates
 				// it away.
 				rep.TornTailBytes = int64(len(chunk))
 			default:
-				var r Record
-				if err := json.Unmarshal([]byte(text), &r); err != nil {
-					return nil, 0, rep, fmt.Errorf("campaign: checkpoint %s line %d (byte %d): corrupt record (not a torn tail — the line is newline-terminated): %w", path, line, offset-int64(len(chunk)), err)
+				if err := fn([]byte(text)); err != nil {
+					return 0, rep, fmt.Errorf("campaign: %s line %d (byte %d): %w", path, line, offset-int64(len(chunk)), err)
 				}
-				if r.Campaign == "" || r.Point == "" {
-					return nil, 0, rep, fmt.Errorf("campaign: checkpoint %s line %d: record missing campaign/point", path, line)
-				}
-				rs.Add(&r)
 				rep.Records++
 				cleanLen = offset
 			}
@@ -362,8 +388,26 @@ func loadCheckpoint(path string) (*ResultSet, int64, LoadReport, error) {
 			break
 		}
 		if readErr != nil {
-			return nil, 0, rep, fmt.Errorf("campaign: read checkpoint: %w", readErr)
+			return 0, rep, fmt.Errorf("campaign: read %s: %w", path, readErr)
 		}
 	}
-	return rs, cleanLen, rep, nil
+	return cleanLen, rep, nil
+}
+
+// RepairJSONL scans a JSONL stream through fn and truncates any torn tail
+// in place, so the next append starts on a fresh line — the generic form
+// of RepairCheckpoint, used by the jobqueue write-ahead log. The scan's
+// hard-error contract is unchanged: a corrupt terminated line refuses
+// rather than truncates.
+func RepairJSONL(path string, fn func(line []byte) error) (LoadReport, error) {
+	cleanLen, rep, err := ScanJSONL(path, fn)
+	if err != nil {
+		return rep, err
+	}
+	if _, statErr := os.Stat(path); statErr == nil {
+		if err := os.Truncate(path, cleanLen); err != nil {
+			return rep, fmt.Errorf("campaign: truncate torn tail of %s: %w", path, err)
+		}
+	}
+	return rep, nil
 }

@@ -1,0 +1,48 @@
+package jobqueue
+
+import (
+	"math/rand"
+	"time"
+)
+
+// BackoffPolicy is the one retry-delay shape shared by every retry loop in
+// the service — the queue's point-retry gate, the client's transport
+// retry, and the worker's registration/acquire loops — so they all back
+// off the same way: attempt k waits uniformly in [d/2, d) for
+// d = min(Base·2^(k-1), Max). The half-width jitter spreads a fleet of
+// workers that all lost the daemon at the same instant, so the restarted
+// daemon is not hit by a synchronised thundering herd.
+type BackoffPolicy struct {
+	// Base is the first-attempt delay ceiling (default 250ms).
+	Base time.Duration
+	// Max caps the exponential growth (default 30s).
+	Max time.Duration
+	// Jitter returns a uniform draw in [0,1) (default math/rand;
+	// injectable — tests pin it to 0 for exact delays).
+	Jitter func() float64
+}
+
+// Delay returns the wait before attempt+1, given `attempt` tries already
+// made (attempt >= 1). Zero-value fields fall back to the defaults.
+func (p BackoffPolicy) Delay(attempt int) time.Duration {
+	base, max := p.Base, p.Max
+	if base <= 0 {
+		base = 250 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 30 * time.Second
+	}
+	jitter := p.Jitter
+	if jitter == nil {
+		jitter = rand.Float64
+	}
+	d := base
+	for i := 1; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	half := d / 2
+	return half + time.Duration(jitter()*float64(half))
+}

@@ -89,7 +89,7 @@ func waitComplete(t *testing.T, c *Client, job string, timeout time.Duration) Jo
 	t.Helper()
 	deadline := time.Now().Add(timeout)
 	for {
-		st, err := c.Status(job)
+		st, err := c.Status(t.Context(), job)
 		if err != nil {
 			t.Fatalf("Status(%s): %v", job, err)
 		}
@@ -175,7 +175,7 @@ func TestE2EChaosKilledWorker(t *testing.T) {
 	const n = 12
 	c, q := startDaemon(t, chaosOptions(t, n))
 	spec := JobSpec{ID: "chaos", Experiments: []string{"all"}, Seed: 1234}
-	if _, err := c.Submit(spec); err != nil {
+	if _, err := c.Submit(t.Context(), spec); err != nil {
 		t.Fatal(err)
 	}
 
@@ -214,7 +214,7 @@ func TestE2EChaosKilledWorker(t *testing.T) {
 	path, _ := q.RecordsPath("chaos")
 	assertSameRecords(t, recordLines(t, path), expectedLines(t, spec, n, 5))
 
-	m, err := c.ManifestOf("chaos")
+	m, err := c.ManifestOf(t.Context(), "chaos")
 	if err != nil || m.Failed != 0 || len(m.Failures) != 0 {
 		t.Fatalf("manifest after clean chaos run: %+v, %v", m, err)
 	}
@@ -226,7 +226,7 @@ func TestE2ETransientFailureRetries(t *testing.T) {
 	const n = 6
 	c, q := startDaemon(t, chaosOptions(t, n))
 	spec := JobSpec{ID: "flaky", Experiments: []string{"all"}, Seed: 55}
-	if _, err := c.Submit(spec); err != nil {
+	if _, err := c.Submit(t.Context(), spec); err != nil {
 		t.Fatal(err)
 	}
 
@@ -266,7 +266,7 @@ func TestE2EPermanentFailureDegradesGracefully(t *testing.T) {
 	opts.MaxAttempts = 2
 	c, q := startDaemon(t, opts)
 	spec := JobSpec{ID: "holey", Experiments: []string{"all"}, Seed: 77}
-	if _, err := c.Submit(spec); err != nil {
+	if _, err := c.Submit(t.Context(), spec); err != nil {
 		t.Fatal(err)
 	}
 
@@ -293,7 +293,7 @@ func TestE2EPermanentFailureDegradesGracefully(t *testing.T) {
 	if st.Done != n-1 || st.Failed != 1 {
 		t.Fatalf("done=%d failed=%d, want %d/1", st.Done, st.Failed, n-1)
 	}
-	m, err := c.ManifestOf("holey")
+	m, err := c.ManifestOf(t.Context(), "holey")
 	if err != nil || len(m.Failures) != 1 {
 		t.Fatalf("manifest %+v, %v; want exactly one hole", m, err)
 	}

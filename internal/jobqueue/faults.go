@@ -1,0 +1,146 @@
+package jobqueue
+
+import (
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"syscall"
+	"time"
+)
+
+// Fault is one scripted misbehaviour of a FaultTransport.
+type Fault int
+
+const (
+	// FaultNone passes the request through untouched.
+	FaultNone Fault = iota
+	// FaultDrop fails the request before it is sent, as a refused
+	// connection — the daemon-is-down case. The server never sees it.
+	FaultDrop
+	// FaultDelay holds the request for the transport's Delay, then sends
+	// it (slow network; pairs with short client timeouts).
+	FaultDelay
+	// FaultDupe delivers the request twice and returns the second
+	// response — the retransmission that makes at-least-once delivery
+	// real. The server must tolerate the duplicate.
+	FaultDupe
+	// FaultSever delivers the request but cuts the response body after
+	// its first byte, so the caller sees a mid-body connection loss.
+	FaultSever
+)
+
+// FaultTransport is an http.RoundTripper that injects scripted faults in
+// front of an inner transport, for chaos-testing the client layer without
+// a flaky network. Faults are consumed from the script in request order;
+// past the script's end every request passes through. Safe for
+// concurrent use.
+type FaultTransport struct {
+	// Inner handles the requests that are allowed through (default
+	// http.DefaultTransport).
+	Inner http.RoundTripper
+	// Delay is the hold applied by FaultDelay.
+	Delay time.Duration
+
+	mu       sync.Mutex
+	script   []Fault
+	next     int
+	requests int
+}
+
+// Push appends faults to the script.
+func (t *FaultTransport) Push(fs ...Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.script = append(t.script, fs...)
+}
+
+// Requests returns how many round trips were attempted (dropped ones
+// included).
+func (t *FaultTransport) Requests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.requests
+}
+
+func (t *FaultTransport) take() Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.requests++
+	if t.next >= len(t.script) {
+		return FaultNone
+	}
+	f := t.script[t.next]
+	t.next++
+	return f
+}
+
+func (t *FaultTransport) inner() http.RoundTripper {
+	if t.Inner != nil {
+		return t.Inner
+	}
+	return http.DefaultTransport
+}
+
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	switch t.take() {
+	case FaultDrop:
+		return nil, &net.OpError{Op: "dial", Net: "tcp", Err: syscall.ECONNREFUSED}
+	case FaultDelay:
+		select {
+		case <-time.After(t.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	case FaultDupe:
+		if first, err := t.inner().RoundTrip(cloneRequest(req)); err == nil {
+			io.Copy(io.Discard, first.Body)
+			first.Body.Close()
+		}
+		req = cloneRequest(req)
+	case FaultSever:
+		resp, err := t.inner().RoundTrip(req)
+		if err != nil {
+			return nil, err
+		}
+		resp.Body = &severedBody{inner: resp.Body}
+		resp.ContentLength = -1
+		return resp, nil
+	}
+	return t.inner().RoundTrip(req)
+}
+
+// cloneRequest makes the request resendable: bodies built by
+// http.NewRequest from a bytes.Reader carry GetBody.
+func cloneRequest(req *http.Request) *http.Request {
+	c := req.Clone(req.Context())
+	if req.GetBody != nil {
+		if body, err := req.GetBody(); err == nil {
+			c.Body = body
+		}
+	}
+	return c
+}
+
+// severedBody yields one byte then fails like a connection cut mid-read.
+type severedBody struct {
+	inner io.ReadCloser
+	read  bool
+}
+
+func (s *severedBody) Read(p []byte) (int, error) {
+	if s.read {
+		return 0, io.ErrUnexpectedEOF
+	}
+	s.read = true
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	n, err := s.inner.Read(p)
+	if err != nil {
+		return n, err
+	}
+	return n, nil
+}
+
+func (s *severedBody) Close() error { return s.inner.Close() }

@@ -10,9 +10,11 @@
 //     point when it is ready, so a fast worker simply acquires more leases
 //     than a slow one and heterogeneous fleets balance themselves.
 //   - A point is handed out under a Lease with a deadline. Worker heartbeats
-//     renew the deadlines of all leases the worker holds; a worker that dies
-//     (missed heartbeat) or wedges (expired deadline) has its points
-//     requeued for someone else.
+//     carry the worker's own list of held leases and renew exactly those, so
+//     a lease whose grant response was lost in transit expires on schedule
+//     instead of being renewed forever; a worker that dies (missed
+//     heartbeat) or wedges (expired deadline) has its points requeued for
+//     someone else.
 //   - A reported point failure is retried with exponential backoff plus
 //     jitter up to a bounded attempt budget. When the budget is exhausted
 //     the point lands in the job's failure manifest and the campaign
@@ -27,6 +29,19 @@
 // namespaced directory (dataDir/<jobID>/) holding its append-only JSONL
 // record file — written through campaign.Sink, resumable with
 // campaign.RepairCheckpoint — and its failure manifest.
+//
+// The queue itself is durable when Options.StateDir is set: every state
+// transition appends one fsync'd JSONL record to a write-ahead log that is
+// periodically folded into a snapshot, and a queue reopened over the same
+// state directory resumes exactly where its predecessor died — SIGKILL
+// included. What survives verbatim: jobs and their task states, live
+// leases with their absolute deadlines and attempt counts, backoff gates,
+// and the requeue/retry/duplicate counters. What is recomputed or
+// re-armed: checkpoint contents are reconciled against records.jsonl (a
+// completion that reached the checkpoint but not the WAL is healed), and
+// live-lease holders get a fresh heartbeat window so the sweeper does not
+// steal a point from a worker that merely outlived the daemon. See wal.go
+// for the format, compaction, and torn-tail repair discipline.
 //
 // The package is layered so the whole service can be exercised in-process:
 // Queue (this file and queue.go) is the pure coordination core with an
@@ -195,6 +210,18 @@ type Options struct {
 	DataDir string
 	// Expand turns submitted specs into grid points (required).
 	Expand Expander
+
+	// StateDir, when set, makes the queue durable: every state transition
+	// appends one JSONL record to StateDir/wal.jsonl (fsync'd like the
+	// checkpoint sink), periodically compacted into StateDir/snapshot.json.
+	// A queue reopened over the same StateDir replays snapshot+WAL and
+	// resumes exactly — live leases keep their deadlines, backoff gates and
+	// attempt counts survive, completed points stay done. Empty means the
+	// pre-WAL behaviour: queue state lives and dies with the process.
+	StateDir string
+	// CompactEvery is the number of WAL appends between automatic
+	// compactions into a fresh snapshot (default 1024).
+	CompactEvery int
 
 	// LeaseTTL is how long a lease lives without a heartbeat (default 30s).
 	LeaseTTL time.Duration

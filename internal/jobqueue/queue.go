@@ -84,6 +84,13 @@ type Queue struct {
 	leases  map[uint64]*qlease // current grants only
 	nextID  uint64
 	autoJob int
+
+	// Durability (wal.go); wal is nil when Options.StateDir is empty.
+	wal      *os.File
+	walPath  string
+	walSeq   uint64
+	walCount int // appends since the last compaction
+	draining bool
 }
 
 // NewQueue builds a queue rooted at opts.DataDir, applying defaults.
@@ -115,15 +122,27 @@ func NewQueue(opts Options) (*Queue, error) {
 	if opts.Now == nil {
 		opts.Now = time.Now
 	}
+	if opts.CompactEvery <= 0 {
+		opts.CompactEvery = 1024
+	}
 	if err := os.MkdirAll(opts.DataDir, 0o755); err != nil {
 		return nil, fmt.Errorf("jobqueue: create data dir: %w", err)
 	}
-	return &Queue{
+	q := &Queue{
 		opts:    opts,
 		jobs:    map[string]*qjob{},
 		workers: map[string]*workerInfo{},
 		leases:  map[uint64]*qlease{},
-	}, nil
+	}
+	if opts.StateDir != "" {
+		if err := q.openState(); err != nil {
+			return nil, err
+		}
+		if n := len(q.jobs); n > 0 {
+			q.logf("state: restored %d job(s), %d live lease(s), WAL seq %d", n, len(q.leases), q.walSeq)
+		}
+	}
+	return q, nil
 }
 
 func (q *Queue) logf(format string, args ...any) {
@@ -205,6 +224,7 @@ func (q *Queue) Submit(spec JobSpec) (JobStatus, error) {
 	j.sink = sink
 	q.jobs[spec.ID] = j
 	q.order = append(q.order, spec.ID)
+	q.walAppend(walRecord{Type: "submit", Job: spec.ID, Spec: &spec, Trials: trials, AutoJob: q.autoJob})
 	q.maybeFinish(j) // a fully resumed job is complete on arrival
 	q.logf("job %s: submitted, %d points (%d resumed)", spec.ID, len(j.tasks), j.done)
 	return q.status(j, false), nil
@@ -241,8 +261,20 @@ func (q *Queue) touchWorker(id string) *workerInfo {
 }
 
 // Heartbeat marks the worker live and renews the deadline of every lease
-// it holds.
+// it holds. Workers that track their own leases should prefer
+// HeartbeatLeases: renewing blindly keeps alive leases the worker never
+// learned about (a grant whose response was lost mid-body), which would
+// otherwise pin their points forever.
 func (q *Queue) Heartbeat(workerID string) error {
+	return q.HeartbeatLeases(workerID, nil)
+}
+
+// HeartbeatLeases marks the worker live and renews exactly the leases it
+// reports holding (nil renews all of them — the legacy blind renewal; an
+// empty non-nil slice renews none). A lease the daemon granted but the
+// worker never heard of is deliberately NOT renewed: it runs out its
+// absolute deadline and the sweeper requeues the point.
+func (q *Queue) HeartbeatLeases(workerID string, held []uint64) error {
 	if workerID == "" {
 		return fmt.Errorf("jobqueue: empty worker id")
 	}
@@ -250,8 +282,25 @@ func (q *Queue) Heartbeat(workerID string) error {
 	defer q.mu.Unlock()
 	w := q.touchWorker(workerID)
 	deadline := w.lastSeen.Add(q.opts.LeaseTTL)
-	for _, l := range w.leases {
-		l.deadline = deadline
+	var renewed []uint64
+	if held == nil {
+		for id, l := range w.leases {
+			l.deadline = deadline
+			renewed = append(renewed, id)
+		}
+	} else {
+		for _, id := range held {
+			if l, ok := w.leases[id]; ok {
+				l.deadline = deadline
+				renewed = append(renewed, id)
+			}
+		}
+	}
+	if len(renewed) > 0 {
+		// Idle heartbeats change no lease state; logging only held-lease
+		// renewals keeps the WAL proportional to work, not to fleet size.
+		sort.Slice(renewed, func(i, j int) bool { return renewed[i] < renewed[j] })
+		q.walAppend(walRecord{Type: "renew", Worker: workerID, Deadline: deadline, LastSeen: w.lastSeen, Leases: renewed})
 	}
 	return nil
 }
@@ -267,6 +316,9 @@ func (q *Queue) Acquire(workerID string) (*Lease, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	w := q.touchWorker(workerID)
+	if q.draining {
+		return nil, nil // shutting down: let in-flight work finish, grant nothing new
+	}
 	now := w.lastSeen
 	for i := 1; i <= len(q.order); i++ {
 		j := q.jobs[q.order[(q.rr+i)%len(q.order)]]
@@ -293,6 +345,8 @@ func (q *Queue) Acquire(workerID string) (*Lease, error) {
 			t.lease = l
 			q.leases[l.id] = l
 			w.leases[l.id] = l
+			q.walAppend(walRecord{Type: "lease", Job: j.spec.ID, Point: &t.ref, Lease: l.id,
+				Worker: workerID, Attempt: l.attempt, Deadline: l.deadline, Started: l.started})
 			return &Lease{
 				ID:       l.id,
 				Job:      j.spec.ID,
@@ -337,8 +391,8 @@ func (q *Queue) Complete(ref LeaseRef, rec *campaign.Record) error {
 		// a stale mismatch is simply dropped.
 		if t.lease != nil && t.lease.id == ref.ID {
 			j.retries++
-			q.failLocked(j, t, fmt.Sprintf("record mismatch: got %s/%s seed=%d full=%v trials=%d",
-				rec.Campaign, rec.Point, rec.Seed, rec.Full, rec.Trials))
+			q.failLocked(j, t, ref.ID, fmt.Sprintf("record mismatch: got %s/%s seed=%d full=%v trials=%d",
+				rec.Campaign, rec.Point, rec.Seed, rec.Full, rec.Trials), "report")
 		}
 		q.releaseLease(ref.ID)
 		return fmt.Errorf("jobqueue: record does not match lease for %s/%s", ref.Point.Campaign, ref.Point.Key)
@@ -347,11 +401,16 @@ func (q *Queue) Complete(ref LeaseRef, rec *campaign.Record) error {
 		j.dups++
 		q.logf("job %s: duplicate completion of %s/%s discarded", j.spec.ID, t.ref.Campaign, t.ref.Key)
 		q.releaseLease(ref.ID)
+		q.walAppend(walRecord{Type: "dup", Job: j.spec.ID, Point: &t.ref, Lease: ref.ID})
 		return nil
 	}
+	var dur time.Duration
+	timed := false
 	if l := q.leases[ref.ID]; l != nil && l.task == t {
-		j.compDur += q.opts.Now().Sub(l.started)
+		dur = q.opts.Now().Sub(l.started)
+		j.compDur += dur
 		j.compN++
+		timed = true
 	}
 	if t.state == taskFailed {
 		// A straggler delivered the record after the attempt budget wrote
@@ -367,11 +426,19 @@ func (q *Queue) Complete(ref LeaseRef, rec *campaign.Record) error {
 		// once storage recovers.
 		t.state = taskPending
 		t.notBefore = q.opts.Now().Add(q.backoff(t.attempts))
+		q.walAppend(walRecord{Type: "fail", Job: j.spec.ID, Point: &t.ref, Lease: ref.ID,
+			Worker: ref.Worker, Attempt: t.attempts, Outcome: "retry", Cause: "report",
+			NotBefore: t.notBefore, Err: fmt.Sprintf("append record: %v", err)})
 		return fmt.Errorf("jobqueue: append record: %w", err)
 	}
 	t.state = taskDone
 	t.lastErr = ""
 	j.done++
+	// Checkpoint first, WAL second: a logged completion implies the record
+	// is durable. The reverse crash window (record durable, completion
+	// lost) is healed by the reconcile step on recovery.
+	q.walAppend(walRecord{Type: "complete", Job: j.spec.ID, Point: &t.ref, Lease: ref.ID,
+		Worker: ref.Worker, Timed: timed, DurNS: int64(dur)})
 	q.maybeFinish(j)
 	return nil
 }
@@ -399,41 +466,40 @@ func (q *Queue) Fail(ref LeaseRef, msg string) error {
 		return nil // stale: the point moved on without this worker
 	}
 	j.retries++
-	q.failLocked(j, t, msg)
+	q.failLocked(j, t, ref.ID, msg, "report")
 	q.releaseLease(ref.ID)
 	return nil
 }
 
-// failLocked applies failure bookkeeping to a leased task (caller holds
-// the lock and releases the reporting lease).
-func (q *Queue) failLocked(j *qjob, t *qtask, msg string) {
+// failLocked applies failure bookkeeping to a leased task and logs the
+// transition to the WAL (caller holds the lock and releases the reporting
+// lease; cause is "report" or "sweep" for the recovery counters).
+func (q *Queue) failLocked(j *qjob, t *qtask, leaseID uint64, msg, cause string) {
 	q.dropTaskLease(t)
 	t.lastErr = msg
 	if t.attempts >= q.opts.MaxAttempts {
 		t.state = taskFailed
 		j.failed++
 		q.logf("job %s: point %s/%s exhausted %d attempts: %s", j.spec.ID, t.ref.Campaign, t.ref.Key, t.attempts, msg)
+		q.walAppend(walRecord{Type: "fail", Job: j.spec.ID, Point: &t.ref, Lease: leaseID,
+			Attempt: t.attempts, Outcome: "exhausted", Cause: cause, Err: msg})
 		q.maybeFinish(j)
 		return
 	}
 	d := q.backoff(t.attempts)
 	t.state = taskPending
 	t.notBefore = q.opts.Now().Add(d)
+	q.walAppend(walRecord{Type: "fail", Job: j.spec.ID, Point: &t.ref, Lease: leaseID,
+		Attempt: t.attempts, Outcome: "retry", Cause: cause, NotBefore: t.notBefore, Err: msg})
 	q.logf("job %s: point %s/%s attempt %d failed (%s); retrying in %v", j.spec.ID, t.ref.Campaign, t.ref.Key, t.attempts, msg, d)
 }
 
 // backoff returns the delay before the next grant after `attempts` granted
-// attempts: uniform in [d/2, d) for d = min(base·2^(attempts-1), max).
+// attempts, via the shared BackoffPolicy shape: uniform in [d/2, d) for
+// d = min(base·2^(attempts-1), max). Reads opts at call time so tests can
+// swap the jitter after construction.
 func (q *Queue) backoff(attempts int) time.Duration {
-	d := q.opts.BackoffBase
-	for i := 1; i < attempts && d < q.opts.BackoffMax; i++ {
-		d *= 2
-	}
-	if d > q.opts.BackoffMax {
-		d = q.opts.BackoffMax
-	}
-	half := d / 2
-	return half + time.Duration(q.opts.Jitter()*float64(half))
+	return BackoffPolicy{Base: q.opts.BackoffBase, Max: q.opts.BackoffMax, Jitter: q.opts.Jitter}.Delay(attempts)
 }
 
 // dropTaskLease detaches the task's current lease, if any.
@@ -494,12 +560,16 @@ func (q *Queue) Sweep() int {
 			t.state = taskFailed
 			j.failed++
 			q.logf("job %s: point %s/%s exhausted %d attempts: %s", j.spec.ID, t.ref.Campaign, t.ref.Key, t.attempts, reason)
+			q.walAppend(walRecord{Type: "fail", Job: j.spec.ID, Point: &t.ref, Lease: l.id,
+				Attempt: t.attempts, Outcome: "exhausted", Cause: "sweep", Err: reason})
 			q.maybeFinish(j)
 			continue
 		}
 		// Requeue immediately: the point is presumed fine, the worker dead.
 		t.state = taskPending
 		t.notBefore = now
+		q.walAppend(walRecord{Type: "fail", Job: j.spec.ID, Point: &t.ref, Lease: l.id,
+			Attempt: t.attempts, Outcome: "retry", Cause: "sweep", NotBefore: t.notBefore, Err: reason})
 		q.logf("job %s: requeued %s/%s (%s, attempt %d)", j.spec.ID, t.ref.Campaign, t.ref.Key, reason, t.attempts)
 	}
 	return len(victims)
@@ -512,8 +582,11 @@ func (q *Queue) maybeFinish(j *qjob) {
 		return
 	}
 	j.complete = true
-	if err := j.sink.Close(); err != nil {
-		q.logf("job %s: close sink: %v", j.spec.ID, err)
+	if j.sink != nil {
+		if err := j.sink.Close(); err != nil {
+			q.logf("job %s: close sink: %v", j.spec.ID, err)
+		}
+		j.sink = nil
 	}
 	m := Manifest{Job: j.spec.ID, Spec: j.spec, Total: len(j.tasks), Done: j.done, Failed: j.failed,
 		Failures: j.failures()}
@@ -615,6 +688,9 @@ func (q *Queue) Healthz() Health {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	h := Health{Status: "ok", Jobs: len(q.jobs), Workers: len(q.workers)}
+	if q.draining {
+		h.Status = "draining"
+	}
 	for _, j := range q.jobs {
 		if !j.complete {
 			h.RunningJobs++
@@ -656,18 +732,37 @@ func (q *Queue) ManifestOf(jobID string) (Manifest, bool) {
 	return m, true
 }
 
-// Close closes every open sink (daemon shutdown). In-flight leases are
-// abandoned; a restarted daemon resubmits with Resume to continue.
+// Close flushes and closes the queue's files (daemon shutdown). A durable
+// queue (Options.StateDir) folds its state into a final snapshot and
+// leaves incomplete jobs incomplete — a daemon reopened over the same
+// state dir resumes them exactly. A non-durable queue marks incomplete
+// jobs complete as it closes their sinks; a restarted daemon resubmits
+// with Resume to continue.
 func (q *Queue) Close() error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	var first error
+	if q.wal != nil {
+		if err := q.compactLocked(); err != nil {
+			first = err
+		}
+		if q.wal != nil {
+			if err := q.wal.Close(); err != nil && first == nil {
+				first = err
+			}
+			q.wal = nil
+		}
+	}
+	durable := q.opts.StateDir != ""
 	for _, j := range q.jobs {
 		if !j.complete && j.sink != nil {
 			if err := j.sink.Close(); err != nil && first == nil {
 				first = err
 			}
-			j.complete = true
+			j.sink = nil
+			if !durable {
+				j.complete = true
+			}
 		}
 	}
 	return first

@@ -178,11 +178,14 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		ID string `json:"id"`
+		// Leases is the worker's own view of what it holds; absent means
+		// "renew everything" (legacy), present renews exactly that set.
+		Leases []uint64 `json:"leases"`
 	}
 	if !decodeBody(w, r, &req) {
 		return
 	}
-	if err := s.q.Heartbeat(req.ID); err != nil {
+	if err := s.q.HeartbeatLeases(req.ID, req.Leases); err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}

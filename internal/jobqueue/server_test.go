@@ -21,7 +21,7 @@ func TestServerSubmitStatusRoundTrip(t *testing.T) {
 	clk := newFakeClock()
 	c, _ := newTestServer(t, clk, 2, nil)
 
-	st, err := c.Submit(JobSpec{ID: "web", Experiments: []string{"all"}, Seed: 9})
+	st, err := c.Submit(t.Context(), JobSpec{ID: "web", Experiments: []string{"all"}, Seed: 9})
 	if err != nil {
 		t.Fatalf("Submit: %v", err)
 	}
@@ -29,7 +29,7 @@ func TestServerSubmitStatusRoundTrip(t *testing.T) {
 		t.Fatalf("submit status %+v", st)
 	}
 
-	got, err := c.Status("web")
+	got, err := c.Status(t.Context(), "web")
 	if err != nil {
 		t.Fatalf("Status: %v", err)
 	}
@@ -37,7 +37,7 @@ func TestServerSubmitStatusRoundTrip(t *testing.T) {
 		t.Fatalf("status round trip %+v", got)
 	}
 
-	jobs, err := c.Jobs()
+	jobs, err := c.Jobs(t.Context())
 	if err != nil || len(jobs) != 1 || jobs[0].ID != "web" {
 		t.Fatalf("Jobs = %+v, %v", jobs, err)
 	}
@@ -46,11 +46,11 @@ func TestServerSubmitStatusRoundTrip(t *testing.T) {
 func TestServerWorkerFlow(t *testing.T) {
 	clk := newFakeClock()
 	c, q := newTestServer(t, clk, 1, nil)
-	if _, err := c.Submit(JobSpec{ID: "w", Experiments: []string{"all"}, Seed: 3}); err != nil {
+	if _, err := c.Submit(t.Context(), JobSpec{ID: "w", Experiments: []string{"all"}, Seed: 3}); err != nil {
 		t.Fatal(err)
 	}
 
-	info, err := c.Register("w1")
+	info, err := c.Register(t.Context(), "w1")
 	if err != nil {
 		t.Fatalf("Register: %v", err)
 	}
@@ -61,34 +61,34 @@ func TestServerWorkerFlow(t *testing.T) {
 		t.Fatalf("suggested heartbeat %v, want within the 5s timeout window", hb)
 	}
 
-	l, err := c.Acquire("w1")
+	l, err := c.Acquire(t.Context(), "w1")
 	if err != nil || l == nil {
 		t.Fatalf("Acquire: %v, %v", l, err)
 	}
 	if l.Job != "w" || l.Attempt != 1 || l.Trials != 5 {
 		t.Fatalf("lease %+v", l)
 	}
-	if err := c.Heartbeat("w1"); err != nil {
+	if err := c.Heartbeat(t.Context(), "w1", nil); err != nil {
 		t.Fatalf("Heartbeat: %v", err)
 	}
-	if err := c.Complete(l.Ref(), recFor(l)); err != nil {
+	if err := c.Complete(t.Context(), l.Ref(), recFor(l)); err != nil {
 		t.Fatalf("Complete: %v", err)
 	}
 
 	// Drained: the lease endpoint answers 204 → (nil, nil).
-	l2, err := c.Acquire("w1")
+	l2, err := c.Acquire(t.Context(), "w1")
 	if err != nil || l2 != nil {
 		t.Fatalf("Acquire on drained queue = %+v, %v; want nil, nil", l2, err)
 	}
 
-	st, err := c.Status("w")
+	st, err := c.Status(t.Context(), "w")
 	if err != nil || st.State != "complete" {
 		t.Fatalf("status %+v, %v", st, err)
 	}
 
 	// Records stream verbatim from the sink file.
 	var sb strings.Builder
-	if err := c.Records("w", &sb); err != nil {
+	if err := c.Records(t.Context(), "w", &sb); err != nil {
 		t.Fatalf("Records: %v", err)
 	}
 	if n := strings.Count(sb.String(), "\n"); n != 1 {
@@ -98,7 +98,7 @@ func TestServerWorkerFlow(t *testing.T) {
 		t.Fatal("no records path")
 	}
 
-	m, err := c.ManifestOf("w")
+	m, err := c.ManifestOf(t.Context(), "w")
 	if err != nil || m.Done != 1 || len(m.Failures) != 0 {
 		t.Fatalf("manifest %+v, %v", m, err)
 	}
@@ -107,17 +107,17 @@ func TestServerWorkerFlow(t *testing.T) {
 func TestServerFailEndpoint(t *testing.T) {
 	clk := newFakeClock()
 	c, _ := newTestServer(t, clk, 1, nil)
-	if _, err := c.Submit(JobSpec{ID: "f", Experiments: []string{"all"}}); err != nil {
+	if _, err := c.Submit(t.Context(), JobSpec{ID: "f", Experiments: []string{"all"}}); err != nil {
 		t.Fatal(err)
 	}
-	l, err := c.Acquire("w1")
+	l, err := c.Acquire(t.Context(), "w1")
 	if err != nil || l == nil {
 		t.Fatal(err)
 	}
-	if err := c.Fail(l.Ref(), "injected"); err != nil {
+	if err := c.Fail(t.Context(), l.Ref(), "injected"); err != nil {
 		t.Fatalf("Fail: %v", err)
 	}
-	st, err := c.Status("f")
+	st, err := c.Status(t.Context(), "f")
 	if err != nil || st.Retries != 1 {
 		t.Fatalf("status after fail %+v, %v", st, err)
 	}
@@ -128,23 +128,23 @@ func TestServerValidationAndNotFound(t *testing.T) {
 	c, _ := newTestServer(t, clk, 1, nil)
 
 	// Validation errors surface as readable messages, not bare status codes.
-	_, err := c.Submit(JobSpec{ID: "../evil", Experiments: []string{"all"}})
+	_, err := c.Submit(t.Context(), JobSpec{ID: "../evil", Experiments: []string{"all"}})
 	if err == nil || !strings.Contains(err.Error(), "invalid job id") {
 		t.Fatalf("bad id error = %v", err)
 	}
-	if _, err := c.Status("nope"); err == nil || !strings.Contains(err.Error(), "unknown campaign") {
+	if _, err := c.Status(t.Context(), "nope"); err == nil || !strings.Contains(err.Error(), "unknown campaign") {
 		t.Fatalf("unknown job error = %v", err)
 	}
-	if _, err := c.ManifestOf("nope"); err == nil || !strings.Contains(err.Error(), "unknown campaign") {
+	if _, err := c.ManifestOf(t.Context(), "nope"); err == nil || !strings.Contains(err.Error(), "unknown campaign") {
 		t.Fatalf("unknown manifest error = %v", err)
 	}
-	if err := c.Records("nope", &strings.Builder{}); err == nil {
+	if err := c.Records(t.Context(), "nope", &strings.Builder{}); err == nil {
 		t.Fatalf("unknown records did not error")
 	}
-	if err := c.Heartbeat(""); err == nil || !strings.Contains(err.Error(), "empty worker id") {
+	if err := c.Heartbeat(t.Context(), "", nil); err == nil || !strings.Contains(err.Error(), "empty worker id") {
 		t.Fatalf("empty heartbeat id error = %v", err)
 	}
-	if _, err := c.Acquire(""); err == nil || !strings.Contains(err.Error(), "empty worker id") {
+	if _, err := c.Acquire(t.Context(), ""); err == nil || !strings.Contains(err.Error(), "empty worker id") {
 		t.Fatalf("empty acquire id error = %v", err)
 	}
 
@@ -162,13 +162,13 @@ func TestServerValidationAndNotFound(t *testing.T) {
 func TestServerHealthz(t *testing.T) {
 	clk := newFakeClock()
 	c, _ := newTestServer(t, clk, 1, nil)
-	if _, err := c.Submit(JobSpec{ID: "h", Experiments: []string{"all"}}); err != nil {
+	if _, err := c.Submit(t.Context(), JobSpec{ID: "h", Experiments: []string{"all"}}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.Register("w1"); err != nil {
+	if _, err := c.Register(t.Context(), "w1"); err != nil {
 		t.Fatal(err)
 	}
-	h, err := c.Healthz()
+	h, err := c.Healthz(t.Context())
 	if err != nil {
 		t.Fatalf("Healthz: %v", err)
 	}

@@ -1,0 +1,615 @@
+package jobqueue
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// This file is the durability layer of the queue: a write-ahead log plus
+// periodic snapshot that make campaignd restart-transparent.
+//
+// Every state transition the queue performs under its lock — job
+// submitted, point leased, leases renewed by a heartbeat, point completed,
+// point failed or requeued, duplicate completion discarded — appends one
+// JSONL record to StateDir/wal.jsonl, written with the same
+// fsync-per-append discipline as the campaign checkpoint sink. Every
+// CompactEvery appends the whole queue state is folded into
+// StateDir/snapshot.json (tmp+rename, fsync'd) and the WAL truncated.
+//
+// Recovery replays snapshot then WAL. Records carry a monotonic sequence
+// number and the snapshot stores the last sequence it folded in, so a
+// crash between the snapshot rename and the WAL truncation is harmless:
+// stale WAL records (seq <= snapshot.seq) are skipped on replay, which
+// also makes replay idempotent — reopening the same state twice yields
+// the same queue. A torn final WAL line (the one malformation a killed
+// append can produce) is repaired in place via campaign.RepairJSONL; a
+// corrupt *terminated* line refuses to open, exactly like a checkpoint.
+//
+// The WAL deliberately records less than the full truth and leans on the
+// record checkpoints for the rest: Complete appends to the fsync'd
+// checkpoint BEFORE logging to the WAL, so a WAL completion implies the
+// record is durable, and the reverse crash window (record durable, WAL
+// completion lost) is healed by the reconcile step, which rescans each
+// incomplete job's checkpoint after replay and marks matching points
+// done. Counters (requeues, retries, duplicates) replay best-effort;
+// task states, attempt counts, backoff gates and lease deadlines replay
+// exactly. Lease deadlines are absolute, so a live lease resumes with
+// its remaining TTL; its holder is granted a fresh heartbeat window
+// (lastSeen = restart time) so the sweeper does not steal the point from
+// a worker that merely outlived the daemon. Stale leases sweep as usual.
+
+// walVersion guards the snapshot format; bump on incompatible change.
+const walVersion = 1
+
+// walRecord is one WAL entry. Type selects which fields are meaningful:
+//
+//	submit   — Job, Spec, Trials, AutoJob
+//	lease    — Job, Point, Lease, Worker, Attempt, Deadline, Started
+//	renew    — Worker, Deadline, LastSeen, Leases (the renewed lease IDs;
+//	           nil means every lease the worker held, for old records)
+//	complete — Job, Point, Lease, Worker, DurNS
+//	fail     — Job, Point, Lease, Worker, Attempt, Outcome, Cause, NotBefore, Err
+//	dup      — Job, Point, Lease
+type walRecord struct {
+	Seq  uint64 `json:"seq"`
+	Type string `json:"type"`
+
+	Job     string    `json:"job,omitempty"`
+	Spec    *JobSpec  `json:"spec,omitempty"`
+	Trials  int       `json:"trials,omitempty"`
+	AutoJob int       `json:"auto_job,omitempty"`
+	Point   *PointRef `json:"point,omitempty"`
+	Lease   uint64    `json:"lease,omitempty"`
+	Leases  []uint64  `json:"leases,omitempty"`
+	Worker  string    `json:"worker,omitempty"`
+	Attempt int       `json:"attempt,omitempty"`
+
+	Deadline  time.Time `json:"deadline,omitzero"`
+	Started   time.Time `json:"started,omitzero"`
+	LastSeen  time.Time `json:"last_seen,omitzero"`
+	NotBefore time.Time `json:"not_before,omitzero"`
+
+	// Outcome is "retry" or "exhausted" for fail records; Cause is
+	// "report" (worker said so) or "sweep" (lease expiry / missed
+	// heartbeat), steering the requeue-vs-retry counter on replay.
+	Outcome string `json:"outcome,omitempty"`
+	Cause   string `json:"cause,omitempty"`
+	// Timed marks a completion that was delivered by the point's current
+	// lease holder, whose duration (DurNS, possibly zero) feeds the ETA
+	// estimate; stale completions replay without touching it.
+	Timed bool   `json:"timed,omitempty"`
+	DurNS int64  `json:"dur_ns,omitempty"`
+	Err   string `json:"err,omitempty"`
+}
+
+// walSnapshot is the full queue state at one WAL sequence number.
+type walSnapshot struct {
+	Version   int         `json:"version"`
+	Seq       uint64      `json:"seq"`
+	NextLease uint64      `json:"next_lease"`
+	AutoJob   int         `json:"auto_job,omitempty"`
+	Jobs      []walJob    `json:"jobs"`
+	Workers   []walWorker `json:"workers,omitempty"`
+}
+
+type walJob struct {
+	Spec      JobSpec   `json:"spec"`
+	Trials    int       `json:"trials"`
+	Complete  bool      `json:"complete,omitempty"`
+	Requeues  int       `json:"requeues,omitempty"`
+	Retries   int       `json:"retries,omitempty"`
+	Dups      int       `json:"duplicates,omitempty"`
+	CompDurNS int64     `json:"comp_dur_ns,omitempty"`
+	CompN     int       `json:"comp_n,omitempty"`
+	Tasks     []walTask `json:"tasks"`
+}
+
+type walTask struct {
+	Point     PointRef  `json:"point"`
+	State     string    `json:"state"`
+	Attempts  int       `json:"attempts,omitempty"`
+	NotBefore time.Time `json:"not_before,omitzero"`
+	LastErr   string    `json:"last_error,omitempty"`
+	Lease     *walLease `json:"lease,omitempty"`
+}
+
+type walLease struct {
+	ID       uint64    `json:"id"`
+	Worker   string    `json:"worker"`
+	Attempt  int       `json:"attempt"`
+	Deadline time.Time `json:"deadline"`
+	Started  time.Time `json:"started"`
+}
+
+type walWorker struct {
+	ID       string    `json:"id"`
+	LastSeen time.Time `json:"last_seen"`
+}
+
+var taskStateNames = map[taskState]string{
+	taskPending: "pending", taskLeased: "leased", taskDone: "done", taskFailed: "failed",
+}
+
+func taskStateOf(name string) (taskState, error) {
+	for s, n := range taskStateNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown task state %q", name)
+}
+
+func (q *Queue) snapshotPath() string { return filepath.Join(q.opts.StateDir, "snapshot.json") }
+
+// openState restores the queue from StateDir (snapshot + WAL replay +
+// checkpoint reconcile) and leaves the WAL open for appends. Called by
+// NewQueue with the lock not yet shared; no other goroutine can see q.
+func (q *Queue) openState() error {
+	if err := os.MkdirAll(q.opts.StateDir, 0o755); err != nil {
+		return fmt.Errorf("jobqueue: create state dir: %w", err)
+	}
+	q.walPath = filepath.Join(q.opts.StateDir, "wal.jsonl")
+
+	var snapSeq uint64
+	if data, err := os.ReadFile(q.snapshotPath()); err == nil {
+		var snap walSnapshot
+		if err := json.Unmarshal(data, &snap); err != nil {
+			return fmt.Errorf("jobqueue: parse snapshot %s: %w", q.snapshotPath(), err)
+		}
+		if snap.Version != walVersion {
+			return fmt.Errorf("jobqueue: snapshot %s has version %d, this daemon speaks %d", q.snapshotPath(), snap.Version, walVersion)
+		}
+		if err := q.restoreSnapshot(&snap); err != nil {
+			return err
+		}
+		snapSeq = snap.Seq
+		q.walSeq = snap.Seq
+	} else if !os.IsNotExist(err) {
+		return fmt.Errorf("jobqueue: read snapshot: %w", err)
+	}
+
+	rep, err := campaign.RepairJSONL(q.walPath, func(line []byte) error {
+		var rec walRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return fmt.Errorf("corrupt WAL record (not a torn tail — the line is newline-terminated): %w", err)
+		}
+		if rec.Seq <= snapSeq {
+			return nil // already folded into the snapshot (crash mid-compaction)
+		}
+		if err := q.applyWAL(&rec); err != nil {
+			return fmt.Errorf("replay %s record: %w", rec.Type, err)
+		}
+		if rec.Seq > q.walSeq {
+			q.walSeq = rec.Seq
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if rep.TornTailBytes > 0 {
+		q.logf("state: dropped torn %d-byte WAL tail", rep.TornTailBytes)
+	}
+
+	// Reconcile with the record checkpoints: a record that reached the
+	// fsync'd checkpoint is the durable truth even if the daemon died
+	// before the WAL completion landed.
+	now := q.opts.Now()
+	for _, id := range q.order {
+		j := q.jobs[id]
+		rs, crep, err := campaign.RepairCheckpoint(j.sinkPath)
+		if err != nil {
+			return fmt.Errorf("jobqueue: reconcile job %q: %w", id, err)
+		}
+		if crep.TornTailBytes > 0 {
+			q.logf("job %s: dropped torn %d-byte checkpoint tail on recovery", id, crep.TornTailBytes)
+		}
+		for _, t := range j.tasks {
+			if t.state == taskDone {
+				continue
+			}
+			r, ok := rs.Lookup(t.ref.Campaign, t.ref.Key)
+			if !ok || !recordMatches(r, t.ref, j.spec, j.trials) {
+				continue
+			}
+			if t.state == taskFailed {
+				j.failed--
+			}
+			q.dropTaskLease(t)
+			t.state = taskDone
+			t.lastErr = ""
+			j.done++
+		}
+		if !j.complete {
+			sink, err := campaign.OpenSink(j.sinkPath, false)
+			if err != nil {
+				return fmt.Errorf("jobqueue: reopen sink for job %q: %w", id, err)
+			}
+			j.sink = sink
+			q.maybeFinish(j)
+		}
+	}
+
+	// Workers holding live leases outlived the daemon, not the other way
+	// round: grant them a fresh heartbeat window so the sweeper does not
+	// steal their points before they can reconnect. Stale leases keep
+	// their past deadlines and sweep as usual.
+	for _, l := range q.leases {
+		if l.deadline.After(now) {
+			if w := q.workers[l.worker]; w != nil && w.lastSeen.Before(now) {
+				w.lastSeen = now
+			}
+		}
+	}
+
+	wal, err := os.OpenFile(q.walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobqueue: open WAL: %w", err)
+	}
+	q.wal = wal
+	// Fold the replayed state into a fresh snapshot immediately: recovery
+	// cost stays proportional to work since the last compaction, not to
+	// the lifetime of the state dir.
+	if err := q.compactLocked(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// restoreSnapshot rebuilds the in-memory queue from a snapshot. Derived
+// quantities (done/failed counts, lease indices) are recomputed from the
+// task list rather than trusted.
+func (q *Queue) restoreSnapshot(snap *walSnapshot) error {
+	q.nextID = snap.NextLease
+	q.autoJob = snap.AutoJob
+	for _, ww := range snap.Workers {
+		q.workers[ww.ID] = &workerInfo{lastSeen: ww.LastSeen, leases: map[uint64]*qlease{}}
+	}
+	for _, wj := range snap.Jobs {
+		if err := validateJobID(wj.Spec.ID); err != nil {
+			return fmt.Errorf("jobqueue: snapshot: %w", err)
+		}
+		dir := filepath.Join(q.opts.DataDir, wj.Spec.ID)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("jobqueue: create job dir: %w", err)
+		}
+		j := &qjob{
+			spec: wj.Spec, trials: wj.Trials, complete: wj.Complete,
+			requeues: wj.Requeues, retries: wj.Retries, dups: wj.Dups,
+			compDur: time.Duration(wj.CompDurNS), compN: wj.CompN,
+			byRef:    map[PointRef]*qtask{},
+			sinkPath: filepath.Join(dir, "records.jsonl"),
+			manifest: filepath.Join(dir, "manifest.json"),
+		}
+		for _, wt := range wj.Tasks {
+			st, err := taskStateOf(wt.State)
+			if err != nil {
+				return fmt.Errorf("jobqueue: snapshot job %q: %w", wj.Spec.ID, err)
+			}
+			t := &qtask{ref: wt.Point, state: st, attempts: wt.Attempts,
+				notBefore: wt.NotBefore, lastErr: wt.LastErr}
+			switch st {
+			case taskDone:
+				j.done++
+			case taskFailed:
+				j.failed++
+			case taskLeased:
+				if wt.Lease == nil {
+					return fmt.Errorf("jobqueue: snapshot job %q: leased task %s/%s without a lease", wj.Spec.ID, wt.Point.Campaign, wt.Point.Key)
+				}
+				l := &qlease{id: wt.Lease.ID, job: j, task: t, worker: wt.Lease.Worker,
+					attempt: wt.Lease.Attempt, deadline: wt.Lease.Deadline, started: wt.Lease.Started}
+				t.lease = l
+				q.leases[l.id] = l
+				w := q.workers[l.worker]
+				if w == nil {
+					w = &workerInfo{leases: map[uint64]*qlease{}}
+					q.workers[l.worker] = w
+				}
+				w.leases[l.id] = l
+				if l.id > q.nextID {
+					q.nextID = l.id
+				}
+			}
+			j.byRef[t.ref] = t
+			j.tasks = append(j.tasks, t)
+		}
+		q.jobs[wj.Spec.ID] = j
+		q.order = append(q.order, wj.Spec.ID)
+	}
+	return nil
+}
+
+// snapshotLocked serialises the whole queue (caller holds the lock).
+func (q *Queue) snapshotLocked() *walSnapshot {
+	snap := &walSnapshot{Version: walVersion, Seq: q.walSeq, NextLease: q.nextID, AutoJob: q.autoJob,
+		Jobs: []walJob{}}
+	for _, id := range q.order {
+		j := q.jobs[id]
+		wj := walJob{Spec: j.spec, Trials: j.trials, Complete: j.complete,
+			Requeues: j.requeues, Retries: j.retries, Dups: j.dups,
+			CompDurNS: int64(j.compDur), CompN: j.compN, Tasks: []walTask{}}
+		for _, t := range j.tasks {
+			wt := walTask{Point: t.ref, State: taskStateNames[t.state], Attempts: t.attempts,
+				NotBefore: t.notBefore, LastErr: t.lastErr}
+			if t.state == taskLeased && t.lease != nil {
+				wt.Lease = &walLease{ID: t.lease.id, Worker: t.lease.worker, Attempt: t.lease.attempt,
+					Deadline: t.lease.deadline, Started: t.lease.started}
+			}
+			wj.Tasks = append(wj.Tasks, wt)
+		}
+		snap.Jobs = append(snap.Jobs, wj)
+	}
+	for id, w := range q.workers {
+		snap.Workers = append(snap.Workers, walWorker{ID: id, LastSeen: w.lastSeen})
+	}
+	// Map iteration order is randomised; the snapshot file should not be.
+	for i := 1; i < len(snap.Workers); i++ {
+		for k := i; k > 0 && snap.Workers[k].ID < snap.Workers[k-1].ID; k-- {
+			snap.Workers[k], snap.Workers[k-1] = snap.Workers[k-1], snap.Workers[k]
+		}
+	}
+	return snap
+}
+
+// applyWAL replays one record against the in-memory state. Tolerant of
+// re-application (a record whose effect is already present is a no-op),
+// which keeps replay idempotent.
+func (q *Queue) applyWAL(rec *walRecord) error {
+	switch rec.Type {
+	case "submit":
+		if rec.Spec == nil {
+			return fmt.Errorf("submit without a spec")
+		}
+		if rec.AutoJob > q.autoJob {
+			q.autoJob = rec.AutoJob
+		}
+		if _, exists := q.jobs[rec.Spec.ID]; exists {
+			return nil
+		}
+		points, trials, err := q.opts.Expand(*rec.Spec)
+		if err != nil {
+			return fmt.Errorf("re-expand job %q (worker/daemon version skew?): %w", rec.Spec.ID, err)
+		}
+		if rec.Trials != 0 && trials != rec.Trials {
+			return fmt.Errorf("job %q re-expands to %d trials, WAL recorded %d (grid skew)", rec.Spec.ID, trials, rec.Trials)
+		}
+		dir := filepath.Join(q.opts.DataDir, rec.Spec.ID)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("create job dir: %w", err)
+		}
+		j := &qjob{spec: *rec.Spec, trials: trials, byRef: map[PointRef]*qtask{},
+			sinkPath: filepath.Join(dir, "records.jsonl"),
+			manifest: filepath.Join(dir, "manifest.json")}
+		for _, ref := range points {
+			t := &qtask{ref: ref}
+			j.byRef[ref] = t
+			j.tasks = append(j.tasks, t)
+		}
+		q.jobs[j.spec.ID] = j
+		q.order = append(q.order, j.spec.ID)
+		return nil
+
+	case "lease":
+		j, t, err := q.walTask(rec)
+		if err != nil {
+			return err
+		}
+		if rec.Lease > q.nextID {
+			q.nextID = rec.Lease
+		}
+		if t.state == taskDone || t.state == taskFailed {
+			return nil // a later record already resolved the point
+		}
+		if t.lease != nil && t.lease.id == rec.Lease {
+			return nil
+		}
+		q.dropTaskLease(t)
+		t.state = taskLeased
+		t.attempts = rec.Attempt
+		l := &qlease{id: rec.Lease, job: j, task: t, worker: rec.Worker,
+			attempt: rec.Attempt, deadline: rec.Deadline, started: rec.Started}
+		t.lease = l
+		q.leases[l.id] = l
+		w := q.workers[rec.Worker]
+		if w == nil {
+			w = &workerInfo{leases: map[uint64]*qlease{}}
+			q.workers[rec.Worker] = w
+		}
+		if rec.Started.After(w.lastSeen) {
+			w.lastSeen = rec.Started
+		}
+		w.leases[l.id] = l
+		return nil
+
+	case "renew":
+		w := q.workers[rec.Worker]
+		if w == nil {
+			w = &workerInfo{leases: map[uint64]*qlease{}}
+			q.workers[rec.Worker] = w
+		}
+		if rec.LastSeen.After(w.lastSeen) {
+			w.lastSeen = rec.LastSeen
+		}
+		if rec.Leases == nil {
+			for _, l := range w.leases {
+				l.deadline = rec.Deadline
+			}
+		} else {
+			for _, id := range rec.Leases {
+				if l, ok := w.leases[id]; ok {
+					l.deadline = rec.Deadline
+				}
+			}
+		}
+		return nil
+
+	case "complete":
+		j, t, err := q.walTask(rec)
+		if err != nil {
+			return err
+		}
+		q.releaseLease(rec.Lease)
+		if t.state == taskDone {
+			return nil
+		}
+		if t.state == taskFailed {
+			j.failed--
+		}
+		q.dropTaskLease(t)
+		t.state = taskDone
+		t.lastErr = ""
+		j.done++
+		if rec.Timed {
+			j.compDur += time.Duration(rec.DurNS)
+			j.compN++
+		}
+		return nil
+
+	case "fail":
+		j, t, err := q.walTask(rec)
+		if err != nil {
+			return err
+		}
+		q.releaseLease(rec.Lease)
+		if t.state == taskDone {
+			return nil
+		}
+		if rec.Cause == "sweep" {
+			j.requeues++
+		} else {
+			j.retries++
+		}
+		q.dropTaskLease(t)
+		if rec.Attempt > t.attempts {
+			t.attempts = rec.Attempt
+		}
+		t.lastErr = rec.Err
+		if rec.Outcome == "exhausted" {
+			if t.state != taskFailed {
+				t.state = taskFailed
+				j.failed++
+			}
+		} else {
+			t.state = taskPending
+			t.notBefore = rec.NotBefore
+		}
+		return nil
+
+	case "dup":
+		j, _, err := q.walTask(rec)
+		if err != nil {
+			return err
+		}
+		q.releaseLease(rec.Lease)
+		j.dups++
+		return nil
+	}
+	return fmt.Errorf("unknown WAL record type %q", rec.Type)
+}
+
+// walTask resolves the job and task a WAL record refers to.
+func (q *Queue) walTask(rec *walRecord) (*qjob, *qtask, error) {
+	j, ok := q.jobs[rec.Job]
+	if !ok {
+		return nil, nil, fmt.Errorf("unknown job %q", rec.Job)
+	}
+	if rec.Point == nil {
+		return nil, nil, fmt.Errorf("job %q: record without a point", rec.Job)
+	}
+	t, ok := j.byRef[*rec.Point]
+	if !ok {
+		return nil, nil, fmt.Errorf("job %q has no point %s/%s", rec.Job, rec.Point.Campaign, rec.Point.Key)
+	}
+	return j, t, nil
+}
+
+// walAppend logs one state transition (caller holds the lock). A WAL
+// write failure degrades durability, not availability: the queue keeps
+// serving and complains loudly, and the record checkpoints still bound
+// the possible loss to coordination state.
+func (q *Queue) walAppend(rec walRecord) {
+	if q.wal == nil {
+		return
+	}
+	q.walSeq++
+	rec.Seq = q.walSeq
+	data, err := json.Marshal(rec)
+	if err != nil {
+		q.logf("state: marshal WAL record: %v", err)
+		return
+	}
+	if _, err := q.wal.Write(append(data, '\n')); err != nil {
+		q.logf("state: append WAL record seq=%d: %v", rec.Seq, err)
+		return
+	}
+	if err := q.wal.Sync(); err != nil {
+		q.logf("state: fsync WAL: %v", err)
+	}
+	q.walCount++
+	if q.walCount >= q.opts.CompactEvery {
+		if err := q.compactLocked(); err != nil {
+			q.logf("state: compact: %v", err)
+		}
+	}
+}
+
+// compactLocked folds the queue state into a fresh snapshot and truncates
+// the WAL (caller holds the lock). Crash-ordering: the snapshot lands via
+// tmp+fsync+rename before the truncation, and replay skips WAL records
+// already covered by the snapshot's sequence number, so dying between the
+// two steps loses nothing and duplicates nothing.
+func (q *Queue) compactLocked() error {
+	snap := q.snapshotLocked()
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return fmt.Errorf("jobqueue: marshal snapshot: %w", err)
+	}
+	tmp := q.snapshotPath() + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobqueue: write snapshot: %w", err)
+	}
+	if _, err = f.Write(append(data, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp, q.snapshotPath())
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("jobqueue: write snapshot: %w", err)
+	}
+	if q.wal != nil {
+		q.wal.Close()
+	}
+	wal, err := os.OpenFile(q.walPath, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		q.wal = nil
+		return fmt.Errorf("jobqueue: truncate WAL: %w", err)
+	}
+	if err := wal.Sync(); err != nil {
+		q.logf("state: fsync truncated WAL: %v", err)
+	}
+	q.wal = wal
+	q.walCount = 0
+	return nil
+}
+
+// Drain stops granting new leases (Acquire answers "nothing runnable")
+// while completions, failures and heartbeats keep flowing — the first
+// phase of a graceful shutdown. Healthz reports "draining".
+func (q *Queue) Drain() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.draining = true
+	q.logf("state: draining — no new leases will be granted")
+}

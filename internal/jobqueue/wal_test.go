@@ -1,0 +1,553 @@
+package jobqueue
+
+import (
+	"encoding/json"
+	"fmt"
+	"io/fs"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// durableOptions is testOptions plus a state dir: the WAL-backed variant
+// of the deterministic baseline.
+func durableOptions(t *testing.T, clk *fakeClock, n int) Options {
+	t.Helper()
+	opts := testOptions(t, clk, n)
+	opts.StateDir = t.TempDir()
+	return opts
+}
+
+// dumpState renders the queue's full coordination state canonically (the
+// snapshot form with the WAL sequence number zeroed). Two queues with
+// equal dumps would behave identically from here on. Worker liveness is
+// advisory (lastSeen is refreshed by any contact, and recovery re-arms
+// live-lease holders), so comparisons across a crash exclude it.
+func dumpState(t *testing.T, q *Queue, withWorkers bool) string {
+	t.Helper()
+	q.mu.Lock()
+	snap := q.snapshotLocked()
+	q.mu.Unlock()
+	snap.Seq = 0
+	if !withWorkers {
+		snap.Workers = nil
+	}
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func copyTree(t *testing.T, src, dst string) {
+	t.Helper()
+	err := filepath.WalkDir(src, func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		rel, rerr := filepath.Rel(src, p)
+		if rerr != nil {
+			return rerr
+		}
+		target := filepath.Join(dst, rel)
+		if d.IsDir() {
+			return os.MkdirAll(target, 0o755)
+		}
+		data, rerr := os.ReadFile(p)
+		if rerr != nil {
+			return rerr
+		}
+		return os.WriteFile(target, data, 0o644)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// driveMixedWorkload pushes one job through every task lifecycle state:
+// a completed point, a reported failure waiting out its backoff, a point
+// requeued by the sweeper after its worker died, a live leased point
+// (heartbeat-renewed), and untouched pending points. Returns the live
+// lease so tests can exercise it across a crash.
+func driveMixedWorkload(t *testing.T, q *Queue, clk *fakeClock) *Lease {
+	t.Helper()
+	mustSubmit(t, q, JobSpec{ID: "j", Experiments: []string{"all"}, Seed: 42})
+	done := mustAcquire(t, q, "w1")
+	if err := q.Complete(done.Ref(), recFor(done)); err != nil {
+		t.Fatal(err)
+	}
+	flaky := mustAcquire(t, q, "w2")
+	if err := q.Fail(flaky.Ref(), "injected transient"); err != nil {
+		t.Fatal(err)
+	}
+	abandoned := mustAcquire(t, q, "w3")
+	_ = abandoned // w3 dies silently; the sweep recovers its lease
+	clk.advance(11 * time.Second)
+	if n := q.Sweep(); n != 1 {
+		t.Fatalf("sweep requeued %d lease(s), want 1", n)
+	}
+	live := mustAcquire(t, q, "w1")
+	if err := q.Heartbeat("w1"); err != nil {
+		t.Fatal(err)
+	}
+	return live
+}
+
+// TestWALRestartRestoresExactState is the heart of the durability
+// contract: a queue that crashed (no Close, no flush beyond the
+// per-append fsyncs) and was reopened over the same dirs is in exactly
+// the state it died in — lease IDs, absolute deadlines, attempt counts,
+// backoff gates, counters — and the old world keeps working against it:
+// the live lease holder's completion is accepted, and a duplicate
+// completion from the outage window is discarded, not double-counted.
+func TestWALRestartRestoresExactState(t *testing.T) {
+	clk := newFakeClock()
+	opts := durableOptions(t, clk, 6)
+	q1, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	live := driveMixedWorkload(t, q1, clk)
+	before := dumpState(t, q1, false)
+	// Crash: q1 is simply abandoned mid-flight.
+
+	q2, err := NewQueue(opts)
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	if after := dumpState(t, q2, false); after != before {
+		t.Fatalf("state after crash+replay differs:\n--- died with ---\n%s\n--- restored ---\n%s", before, after)
+	}
+
+	st, ok := q2.Status("j")
+	if !ok {
+		t.Fatal("job lost across restart")
+	}
+	if st.Done != 1 || st.Leased != 1 || st.Requeues != 1 || st.Retries != 1 {
+		t.Fatalf("restored status: %+v", st)
+	}
+	if len(st.Leases) != 1 || st.Leases[0].Worker != "w1" || !st.Leases[0].Deadline.Equal(live.Deadline) {
+		// The replayed deadline must be the absolute time the dying daemon
+		// promised, not re-armed relative to the restart.
+		t.Fatalf("restored lease: %+v (live lease %+v)", st.Leases, live)
+	}
+
+	// The worker that outlived the daemon finishes its point unaided.
+	if err := q2.Complete(live.Ref(), recFor(live)); err != nil {
+		t.Fatalf("completion of pre-crash lease refused: %v", err)
+	}
+	// A worker that completed during the outage resends: first-valid-wins.
+	reDone := *live
+	if err := q2.Complete(LeaseRef{ID: live.ID, Job: "j", Point: live.Point, Worker: "w9"}, recFor(&reDone)); err != nil {
+		t.Fatalf("duplicate completion errored: %v", err)
+	}
+	st, _ = q2.Status("j")
+	if st.Done != 2 || st.Duplicates != 1 {
+		t.Fatalf("after post-crash completion: %+v", st)
+	}
+	if got := sinkLines(t, q2, "j"); got != 2 {
+		t.Fatalf("checkpoint holds %d records, want 2 (no double append)", got)
+	}
+}
+
+// TestWALReplayIdempotent reopens the same state twice: the second replay
+// (which starts from the compacted snapshot the first reopen wrote) must
+// land in exactly the same state, workers included.
+func TestWALReplayIdempotent(t *testing.T) {
+	clk := newFakeClock()
+	opts := durableOptions(t, clk, 6)
+	q1, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveMixedWorkload(t, q1, clk)
+	// Crash q1; open twice in sequence.
+	q2, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2 := dumpState(t, q2, true)
+	if err := q2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	q3, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 := dumpState(t, q3, true); d3 != d2 {
+		t.Fatalf("second replay diverged:\n--- first ---\n%s\n--- second ---\n%s", d2, d3)
+	}
+}
+
+// TestWALTruncationEveryByte is the WAL's analogue of the checkpoint
+// crash test: a daemon killed mid-append leaves a torn final line, and
+// recovery from a WAL cut at byte k must equal recovery from the longest
+// clean prefix of those k bytes. In -short mode every byte of the final
+// record is tried; the full run cuts at every byte of the whole file.
+func TestWALTruncationEveryByte(t *testing.T) {
+	clk := newFakeClock()
+	opts := durableOptions(t, clk, 6)
+	q1, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveMixedWorkload(t, q1, clk)
+	walBytes, err := os.ReadFile(filepath.Join(opts.StateDir, "wal.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walBytes) == 0 || walBytes[len(walBytes)-1] != '\n' {
+		t.Fatalf("workload WAL malformed: %d bytes", len(walBytes))
+	}
+	start := 0
+	if testing.Short() {
+		start = strings.LastIndexByte(string(walBytes[:len(walBytes)-1]), '\n') + 1
+	}
+
+	scratch := t.TempDir()
+	byPrefix := map[int]string{} // clean-prefix length → canonical dump
+	for cut := start; cut <= len(walBytes); cut++ {
+		root := filepath.Join(scratch, fmt.Sprintf("cut-%05d", cut))
+		dataDir := filepath.Join(root, "data")
+		stateDir := filepath.Join(root, "state")
+		copyTree(t, opts.DataDir, dataDir)
+		copyTree(t, opts.StateDir, stateDir)
+		if err := os.WriteFile(filepath.Join(stateDir, "wal.jsonl"), walBytes[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		cutOpts := opts
+		cutOpts.DataDir = dataDir
+		cutOpts.StateDir = stateDir
+		q, err := NewQueue(cutOpts)
+		if err != nil {
+			t.Fatalf("cut at byte %d: reopen failed: %v", cut, err)
+		}
+		clean := strings.LastIndexByte(string(walBytes[:cut]), '\n') + 1
+		dump := dumpState(t, q, false)
+		if want, ok := byPrefix[clean]; ok {
+			if dump != want {
+				t.Fatalf("cut at byte %d: state differs from clean prefix of %d bytes", cut, clean)
+			}
+		} else {
+			byPrefix[clean] = dump
+		}
+		if err := q.Close(); err != nil {
+			t.Fatalf("cut at byte %d: close: %v", cut, err)
+		}
+		os.RemoveAll(root)
+	}
+}
+
+// TestWALStaleRecordsSkippedAfterCompaction pins the crash window inside
+// compaction itself: the snapshot has landed but the WAL was not yet
+// truncated, so every WAL record is already folded in. Replay must skip
+// them by sequence number instead of double-applying.
+func TestWALStaleRecordsSkippedAfterCompaction(t *testing.T) {
+	clk := newFakeClock()
+	opts := durableOptions(t, clk, 6)
+	q1, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveMixedWorkload(t, q1, clk)
+	walPath := filepath.Join(opts.StateDir, "wal.jsonl")
+	walBytes, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := dumpState(t, q1, false)
+	if err := q1.Close(); err != nil { // compacts: snapshot current, WAL truncated
+		t.Fatal(err)
+	}
+	// Undo the truncation: the stale records reappear behind the snapshot.
+	if err := os.WriteFile(walPath, walBytes, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	q2, err := NewQueue(opts)
+	if err != nil {
+		t.Fatalf("reopen with stale WAL tail: %v", err)
+	}
+	if got := dumpState(t, q2, false); got != want {
+		t.Fatalf("stale WAL records were re-applied:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+}
+
+// TestWALCorruptTerminatedLineRefuses mirrors the checkpoint contract: a
+// torn tail heals silently, but a corrupt line that IS newline-terminated
+// was written whole and then damaged — recovery must refuse, not guess.
+func TestWALCorruptTerminatedLineRefuses(t *testing.T) {
+	clk := newFakeClock()
+	opts := durableOptions(t, clk, 4)
+	q1, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, q1, JobSpec{ID: "j", Experiments: []string{"all"}, Seed: 1})
+	walPath := filepath.Join(opts.StateDir, "wal.jsonl")
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("{broken json}\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	_, err = NewQueue(opts)
+	if err == nil || !strings.Contains(err.Error(), "not a torn tail") {
+		t.Fatalf("corrupt terminated WAL line: err=%v, want refusal naming the damage", err)
+	}
+}
+
+// TestWALCrashRecoveryFuzz drives randomised interleavings of lease
+// grants, completions, failures, heartbeats, clock jumps, sweeps — and
+// daemon crashes at random points between them — then finishes every
+// campaign and checks the ground truth: the checkpoint holds exactly one
+// record per non-failed point, each byte-identical to what an
+// uninterrupted run produces. Run under -race in CI.
+func TestWALCrashRecoveryFuzz(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			clk := newFakeClock()
+			opts := durableOptions(t, clk, 8)
+			q, err := NewQueue(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec := JobSpec{ID: "j", Experiments: []string{"all"}, Seed: uint64(seed)}
+			mustSubmit(t, q, spec)
+
+			workers := []string{"w0", "w1", "w2"}
+			var held []*Lease
+			crashes := 0
+			for step := 0; step < 60; step++ {
+				switch rng.Intn(10) {
+				case 0, 1, 2: // acquire
+					l, err := q.Acquire(workers[rng.Intn(len(workers))])
+					if err != nil {
+						t.Fatalf("step %d: acquire: %v", step, err)
+					}
+					if l != nil {
+						held = append(held, l)
+					}
+				case 3, 4: // complete a held lease (possibly stale — both legal)
+					if len(held) > 0 {
+						i := rng.Intn(len(held))
+						l := held[i]
+						held = append(held[:i], held[i+1:]...)
+						if err := q.Complete(l.Ref(), recFor(l)); err != nil {
+							t.Fatalf("step %d: complete %s: %v", step, l.Point.Key, err)
+						}
+					}
+				case 5: // report a failure
+					if len(held) > 0 {
+						i := rng.Intn(len(held))
+						l := held[i]
+						held = append(held[:i], held[i+1:]...)
+						if err := q.Fail(l.Ref(), "fuzz failure"); err != nil {
+							t.Fatalf("step %d: fail %s: %v", step, l.Point.Key, err)
+						}
+					}
+				case 6: // heartbeat
+					if err := q.Heartbeat(workers[rng.Intn(len(workers))]); err != nil {
+						t.Fatal(err)
+					}
+				case 7: // time passes; sweeper runs
+					clk.advance(time.Duration(rng.Intn(8000)) * time.Millisecond)
+					q.Sweep()
+				case 8, 9: // CRASH between any two transitions
+					crashes++
+					q, err = NewQueue(opts)
+					if err != nil {
+						t.Fatalf("step %d: recovery failed: %v", step, err)
+					}
+				}
+			}
+			if crashes == 0 {
+				q2, err := NewQueue(opts) // make every seed exercise recovery at least once
+				if err != nil {
+					t.Fatalf("final crash recovery: %v", err)
+				}
+				q = q2
+			}
+
+			// Drain to completion: one diligent worker plus the sweeper.
+			for i := 0; i < 1000; i++ {
+				st, ok := q.Status("j")
+				if !ok {
+					t.Fatal("job lost")
+				}
+				if st.State == "complete" {
+					break
+				}
+				l, err := q.Acquire("w0")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if l != nil {
+					if err := q.Complete(l.Ref(), recFor(l)); err != nil {
+						t.Fatal(err)
+					}
+					continue
+				}
+				clk.advance(time.Second)
+				q.Sweep()
+				q.Heartbeat("w0") //nolint:errcheck
+			}
+			st, _ := q.Status("j")
+			if st.State != "complete" {
+				t.Fatalf("campaign never completed: %+v", st)
+			}
+
+			// Ground truth: merged records == uninterrupted run, no dups.
+			m, _ := q.ManifestOf("j")
+			failed := map[string]bool{}
+			for _, f := range m.Failures {
+				failed[f.Point.Campaign+"/"+f.Point.Key] = true
+			}
+			path, _ := q.RecordsPath("j")
+			got := recordLines(t, path) // fails the test on duplicate keys
+			pts, trials, _ := opts.Expand(spec)
+			for _, pt := range pts {
+				key := pt.Campaign + "/" + pt.Key
+				if failed[key] {
+					if _, ok := got[key]; ok {
+						t.Errorf("failed point %s has a record anyway", key)
+					}
+					continue
+				}
+				exp, err := json.Marshal(recFor(&Lease{Point: pt, Spec: spec, Trials: trials}))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got[key] != string(exp) {
+					t.Errorf("record %s differs from uninterrupted run:\n got %q\nwant %q", key, got[key], exp)
+				}
+				delete(got, key)
+			}
+			for key := range got {
+				if !failed[key] {
+					t.Errorf("unexpected extra record %s", key)
+				}
+			}
+		})
+	}
+}
+
+// TestZombieLeaseExpiresDespiteHeartbeats pins the lost-grant hazard: the
+// daemon grants a lease but the response never reaches the worker (severed
+// mid-body by a crash). The worker keeps heartbeating with its manifest of
+// known leases, which must NOT keep the orphan alive — it runs out its
+// deadline and the sweeper requeues the point. The subset renewal also has
+// to replay exactly from the WAL.
+func TestZombieLeaseExpiresDespiteHeartbeats(t *testing.T) {
+	clk := newFakeClock()
+	opts := durableOptions(t, clk, 4)
+	q, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustSubmit(t, q, JobSpec{ID: "j", Experiments: []string{"all"}, Seed: 9})
+	known := mustAcquire(t, q, "w1")  // the worker got this response
+	zombie := mustAcquire(t, q, "w1") // this response was lost in transit
+	clk.advance(6 * time.Second)
+	if err := q.HeartbeatLeases("w1", []uint64{known.ID}); err != nil {
+		t.Fatal(err)
+	}
+	clk.advance(5 * time.Second) // t=11s: known renewed to 16s, zombie expired at 10s
+	if n := q.Sweep(); n != 1 {
+		t.Fatalf("sweep requeued %d lease(s), want 1 (the zombie)", n)
+	}
+	st, _ := q.Status("j")
+	if st.Leased != 1 || st.Requeues != 1 {
+		t.Fatalf("after zombie sweep: %+v", st)
+	}
+	if len(st.Leases) != 1 || st.Leases[0].Point != known.Point {
+		t.Fatalf("wrong lease survived: %+v (zombie was %s)", st.Leases, zombie.Point.Key)
+	}
+
+	// The partial renewal is a WAL record like any other: crash and replay.
+	before := dumpState(t, q, false)
+	q2, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := dumpState(t, q2, false); after != before {
+		t.Fatalf("subset renew did not replay:\n--- died with ---\n%s\n--- restored ---\n%s", before, after)
+	}
+}
+
+// TestWALFixtureReplay replays a committed snapshot+WAL fixture and
+// compares the restored state against a committed expectation, so any
+// format drift (field renames, semantic changes to replay) fails loudly
+// instead of silently orphaning existing state dirs. Regenerate with:
+//
+//	UPDATE_WAL_FIXTURE=1 go test ./internal/jobqueue -run TestWALFixtureReplay
+func TestWALFixtureReplay(t *testing.T) {
+	fixDir := filepath.Join("testdata", "walfixture")
+	if os.Getenv("UPDATE_WAL_FIXTURE") != "" {
+		regenWALFixture(t, fixDir)
+	}
+	got := replayWALFixture(t, fixDir)
+	want, err := os.ReadFile(filepath.Join(fixDir, "expected_state.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != strings.TrimRight(string(want), "\n") {
+		t.Fatalf("fixture replay drifted from expected_state.json — if the WAL format change is intentional, bump walVersion and regenerate with UPDATE_WAL_FIXTURE=1\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+// replayWALFixture opens a copy of the fixture state under the canonical
+// deterministic environment and returns the state dump.
+func replayWALFixture(t *testing.T, fixDir string) string {
+	t.Helper()
+	work := t.TempDir()
+	copyTree(t, fixDir, work)
+	clk := newFakeClock()
+	opts := testOptions(t, clk, 6)
+	opts.DataDir = filepath.Join(work, "data")
+	opts.StateDir = filepath.Join(work, "state")
+	q, err := NewQueue(opts)
+	if err != nil {
+		t.Fatalf("fixture failed to replay — WAL/snapshot format drift? %v", err)
+	}
+	defer q.Close()
+	return dumpState(t, q, true)
+}
+
+// regenWALFixture rebuilds the committed fixture: the mixed workload run
+// with a tiny compaction interval, so the fixture holds both a mid-stream
+// snapshot and live WAL records past it.
+func regenWALFixture(t *testing.T, fixDir string) {
+	t.Helper()
+	clk := newFakeClock()
+	opts := testOptions(t, clk, 6)
+	opts.StateDir = t.TempDir()
+	opts.CompactEvery = 4
+	q, err := NewQueue(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	driveMixedWorkload(t, q, clk)
+	// Crash (no Close): the fixture captures a mid-flight daemon.
+	for _, sub := range []string{"data", "state"} {
+		if err := os.RemoveAll(filepath.Join(fixDir, sub)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	copyTree(t, opts.DataDir, filepath.Join(fixDir, "data"))
+	copyTree(t, opts.StateDir, filepath.Join(fixDir, "state"))
+	dump := replayWALFixture(t, fixDir)
+	if err := os.WriteFile(filepath.Join(fixDir, "expected_state.json"), []byte(dump+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("regenerated %s", fixDir)
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 	"time"
 
 	"repro/internal/campaign"
@@ -39,6 +40,9 @@ type WorkerOptions struct {
 	// Heartbeat is the liveness cadence; 0 adopts the daemon's suggestion
 	// from registration.
 	Heartbeat time.Duration
+	// Backoff shapes the retry delays for registration, acquire errors,
+	// and report delivery (zero value: the shared defaults, 250ms/30s).
+	Backoff BackoffPolicy
 	// ChaosKillAtLease <= 0 disables chaos (the zero value is safe). At
 	// N >= 1 the worker completes N-1 points normally, acquires its Nth
 	// lease, and dies abruptly holding it: no completion, no failure
@@ -56,8 +60,14 @@ type WorkerOptions struct {
 
 // RunWorker runs the acquire→run→report loop against a daemon until ctx is
 // cancelled (graceful: the in-flight point finishes and reports first) or
-// chaos kills it. Registration and transient RPC errors are retried — a
-// worker outliving a daemon restart just keeps polling.
+// chaos kills it. The loop is built to outlive the daemon: registration,
+// acquire and report delivery all retry transient failures with the
+// shared capped exponential backoff, completions and failure reports are
+// never abandoned while the context lives (a computed record is delivered
+// through arbitrary daemon downtime — the WAL-restored daemon will accept
+// or dup-discard it), and the heartbeat goroutine re-registers after an
+// outage ends. Only a permanent refusal (4xx — the daemon understood and
+// said no) drops a report, because resending it cannot change the answer.
 func RunWorker(ctx context.Context, c *Client, r Runner, o WorkerOptions) error {
 	if o.ID == "" {
 		return fmt.Errorf("jobqueue: WorkerOptions.ID is required")
@@ -71,19 +81,18 @@ func RunWorker(ctx context.Context, c *Client, r Runner, o WorkerOptions) error 
 		}
 	}
 
-	// Register, retrying while the daemon comes up.
+	// Register, backing off while the daemon comes up.
 	var info *RegisterInfo
-	for {
+	for attempt := 1; ; attempt++ {
 		var err error
-		info, err = c.Register(o.ID)
+		info, err = c.Register(ctx, o.ID)
 		if err == nil {
 			break
 		}
-		logf("register: %v (retrying)", err)
-		select {
-		case <-ctx.Done():
+		d := o.Backoff.Delay(attempt)
+		logf("register: %v (retrying in %v)", err, d)
+		if !sleepCtx(ctx, d) {
 			return ctx.Err()
-		case <-time.After(o.Poll):
 		}
 	}
 	hb := o.Heartbeat
@@ -94,26 +103,81 @@ func RunWorker(ctx context.Context, c *Client, r Runner, o WorkerOptions) error 
 		hb = 2 * time.Second
 	}
 
+	// The worker renews only the leases it knows it holds. A grant whose
+	// response never arrived (connection cut mid-body) must NOT be kept
+	// alive by our heartbeats — it expires by its deadline and the daemon
+	// requeues the point.
+	var heldMu sync.Mutex
+	held := map[uint64]struct{}{}
+	heldIDs := func() []uint64 {
+		heldMu.Lock()
+		defer heldMu.Unlock()
+		ids := make([]uint64, 0, len(held))
+		for id := range held {
+			ids = append(ids, id)
+		}
+		return ids
+	}
+
 	// Heartbeats run for the worker's whole life, covering long points.
 	// They stop the instant the loop returns — a chaos kill goes silent.
+	// After an outage (any heartbeat error) the first success is followed
+	// by a fresh registration, so a restarted daemon relearns the worker
+	// without the worker abandoning whatever point it is computing.
 	hbCtx, stopHB := context.WithCancel(ctx)
 	defer stopHB()
 	go func() {
 		t := time.NewTicker(hb)
 		defer t.Stop()
+		outage := false
 		for {
 			select {
 			case <-hbCtx.Done():
 				return
 			case <-t.C:
-				if err := c.Heartbeat(o.ID); err != nil {
+				if err := c.Heartbeat(hbCtx, o.ID, heldIDs()); err != nil {
 					logf("heartbeat: %v", err)
+					outage = true
+					continue
+				}
+				if outage {
+					outage = false
+					if _, err := c.Register(hbCtx, o.ID); err != nil {
+						logf("re-register after outage: %v", err)
+					} else {
+						logf("daemon back; re-registered")
+					}
 				}
 			}
 		}
 	}()
 
-	completed, acquired := 0, 0
+	// deliver resends a report through daemon downtime until it lands, the
+	// context ends, or the daemon permanently refuses it.
+	deliver := func(what string, fn func() error) bool {
+		for attempt := 1; ; attempt++ {
+			err := fn()
+			if err == nil {
+				return true
+			}
+			if ctx.Err() != nil {
+				return false
+			}
+			if !Retryable(err) {
+				// The daemon heard the report and said no (e.g. record
+				// mismatch): the lease machinery decides the point's fate.
+				logf("%s rejected: %v", what, err)
+				return false
+			}
+			d := o.Backoff.Delay(attempt)
+			logf("%s: %v (retrying in %v)", what, err, d)
+			if !sleepCtx(ctx, d) {
+				return false
+			}
+		}
+	}
+
+	completed, acquired, acquireFails := 0, 0, 0
 	for {
 		select {
 		case <-ctx.Done():
@@ -121,14 +185,17 @@ func RunWorker(ctx context.Context, c *Client, r Runner, o WorkerOptions) error 
 			return nil
 		default:
 		}
-		lease, err := c.Acquire(o.ID)
+		lease, err := c.Acquire(ctx, o.ID)
 		if err != nil {
-			logf("acquire: %v (retrying)", err)
-			if !sleepCtx(ctx, o.Poll) {
+			acquireFails++
+			d := o.Backoff.Delay(acquireFails)
+			logf("acquire: %v (retrying in %v)", err, d)
+			if !sleepCtx(ctx, d) {
 				return nil
 			}
 			continue
 		}
+		acquireFails = 0
 		if lease == nil {
 			if !sleepCtx(ctx, o.Poll) {
 				return nil
@@ -136,6 +203,14 @@ func RunWorker(ctx context.Context, c *Client, r Runner, o WorkerOptions) error 
 			continue
 		}
 		acquired++
+		heldMu.Lock()
+		held[lease.ID] = struct{}{}
+		heldMu.Unlock()
+		release := func() {
+			heldMu.Lock()
+			delete(held, lease.ID)
+			heldMu.Unlock()
+		}
 		if o.ChaosKillAtLease > 0 && acquired >= o.ChaosKillAtLease {
 			logf("CHAOS: dying with lease %d (%s/%s) unreported", lease.ID, lease.Point.Campaign, lease.Point.Key)
 			return ErrChaosKill
@@ -147,18 +222,14 @@ func RunWorker(ctx context.Context, c *Client, r Runner, o WorkerOptions) error 
 		}
 		if err != nil {
 			logf("point %s/%s failed: %v", lease.Point.Campaign, lease.Point.Key, err)
-			if ferr := c.Fail(lease.Ref(), err.Error()); ferr != nil {
-				logf("fail report: %v", ferr)
-			}
+			deliver("fail report", func() error { return c.Fail(ctx, lease.Ref(), err.Error()) })
+			release()
 			continue
 		}
-		if cerr := c.Complete(lease.Ref(), rec); cerr != nil {
-			// The daemon refused (e.g. record mismatch) or is unreachable;
-			// either way the lease machinery decides the point's fate.
-			logf("complete report: %v", cerr)
-			continue
+		if deliver("complete report", func() error { return c.Complete(ctx, lease.Ref(), rec) }) {
+			completed++
 		}
-		completed++
+		release()
 	}
 }
 

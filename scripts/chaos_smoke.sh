@@ -24,16 +24,18 @@ echo "chaos smoke: working in ${work}"
 
 cleanup() {
   # Best-effort teardown; the chaos worker is usually dead already.
-  kill "${daemon_pid:-}" "${w1_pid:-}" "${w2_pid:-}" 2>/dev/null || true
+  kill "${daemon_pid:-}" "${w1_pid:-}" "${w2_pid:-}" \
+       "${daemon2_pid:-}" "${w3_pid:-}" "${w4_pid:-}" 2>/dev/null || true
   wait 2>/dev/null || true
 }
 trap cleanup EXIT
 
 die() {
   echo "chaos smoke: FAIL: $*" >&2
-  echo "--- campaignd log ---" >&2;   cat "${work}/campaignd.log" >&2 || true
-  echo "--- worker-1 log ---" >&2;    cat "${work}/worker1.log" >&2 || true
-  echo "--- worker-2 log ---" >&2;    cat "${work}/worker2.log" >&2 || true
+  for log in campaignd campaignd2 worker1 worker2 worker3 worker4; do
+    [[ -f "${work}/${log}.log" ]] || continue
+    echo "--- ${log} log ---" >&2; cat "${work}/${log}.log" >&2 || true
+  done
   exit 1
 }
 
@@ -116,4 +118,97 @@ diff -u "${work}/truth.sorted" "${work}/merged.sorted" \
   || die "merged records differ from the single-process run"
 
 n=$(wc -l <"${work}/truth.jsonl")
-echo "chaos smoke: PASS — ${n} records identical across worker death"
+echo "chaos smoke: PASS leg 1 — ${n} records identical across worker death"
+
+# ---------------------------------------------------------------------------
+# Leg 2: kill the DAEMON. A fresh campaignd (own -data/-state) runs a second
+# campaign across two slow workers; mid-campaign — after at least two worker
+# completions, with more in flight — the daemon takes SIGKILL. Restarted over
+# the same address and state directory, it must replay its WAL, pick the
+# fleet back up (the workers are never restarted), and finish with records
+# byte-identical to the same single-process truth.
+# ---------------------------------------------------------------------------
+kill "${w2_pid}" 2>/dev/null || true
+kill "${daemon_pid}" 2>/dev/null || true
+wait "${w2_pid}" "${daemon_pid}" 2>/dev/null || true
+
+done_count() {
+  "${work}/campaignctl" -daemon "${daemon2}" status smoke2 2>/dev/null \
+    | tr -d ' ' | grep -o '"done":[0-9]*' | head -n1 | cut -d: -f2 || echo 0
+}
+
+echo "chaos smoke: leg 2 — starting campaignd (durable state)"
+"${work}/campaignd" -addr 127.0.0.1:0 -addr-file "${work}/addr2" \
+  -data "${work}/data2" -state "${work}/state2" \
+  -lease 5s -heartbeat-timeout 3s -sweep 250ms \
+  2>"${work}/campaignd2.log" &
+daemon2_pid=$!
+for _ in $(seq 1 100); do
+  [[ -s "${work}/addr2" ]] && break
+  kill -0 "${daemon2_pid}" 2>/dev/null || die "leg-2 campaignd died on startup"
+  sleep 0.1
+done
+[[ -s "${work}/addr2" ]] || die "leg-2 campaignd never wrote its address"
+addr2="$(cat "${work}/addr2")"
+daemon2="http://${addr2}"
+echo "chaos smoke: leg-2 daemon at ${daemon2}"
+
+# Slow workers (300ms per point) keep the campaign running long enough to
+# kill the daemon mid-flight with work genuinely in progress.
+"${work}/campaignworker" -daemon "${daemon2}" -id slow-1 -poll 100ms \
+  -chaos.latency 300ms 2>"${work}/worker3.log" &
+w3_pid=$!
+"${work}/campaignworker" -daemon "${daemon2}" -id slow-2 -poll 100ms \
+  -chaos.latency 300ms 2>"${work}/worker4.log" &
+w4_pid=$!
+
+"${work}/campaignctl" -daemon "${daemon2}" submit -id smoke2 \
+  -experiments "${EXPERIMENTS}" -seed "${SEED}" >"${work}/submit2.json" \
+  || die "leg-2 submit failed"
+
+echo "chaos smoke: waiting for ≥2 completions before the kill"
+for _ in $(seq 1 600); do
+  d=$(done_count)
+  [[ "${d:-0}" -ge 2 ]] && break
+  sleep 0.1
+done
+d=$(done_count)
+[[ "${d:-0}" -ge 2 ]] || die "campaign never got underway (done=${d:-0})"
+[[ "${d}" -le $((n - 2)) ]] || die "campaign drained too fast to test a mid-flight daemon kill (done=${d}/${n})"
+
+echo "chaos smoke: SIGKILL campaignd (done=${d}/${n})"
+kill -9 "${daemon2_pid}"
+wait "${daemon2_pid}" 2>/dev/null || true
+
+echo "chaos smoke: restarting campaignd on ${addr2} over the same state"
+"${work}/campaignd" -addr "${addr2}" \
+  -data "${work}/data2" -state "${work}/state2" \
+  -lease 5s -heartbeat-timeout 3s -sweep 250ms \
+  2>>"${work}/campaignd2.log" &
+daemon2_pid=$!
+sleep 0.5
+kill -0 "${daemon2_pid}" 2>/dev/null || die "restarted campaignd died (port not rebindable?)"
+
+grep -q "restored" "${work}/campaignd2.log" \
+  || die "restarted daemon never logged a state restore — WAL not replayed"
+
+echo "chaos smoke: waiting for completion through the restart"
+if ! "${work}/campaignctl" -daemon "${daemon2}" wait -timeout 5m -poll 1s smoke2 \
+  2>"${work}/wait2.log"; then
+  code=$?
+  [[ ${code} -eq 4 ]] && die "leg-2 campaign completed DEGRADED"
+  die "leg-2 campaignctl wait exited ${code}"
+fi
+
+# The workers must have ridden out the outage — same PIDs, never restarted.
+kill -0 "${w3_pid}" 2>/dev/null || die "worker slow-1 did not survive the daemon restart"
+kill -0 "${w4_pid}" 2>/dev/null || die "worker slow-2 did not survive the daemon restart"
+
+"${work}/campaignctl" -daemon "${daemon2}" records smoke2 >"${work}/merged2.jsonl" \
+  || die "leg-2 records fetch failed"
+sort "${work}/merged2.jsonl" >"${work}/merged2.sorted"
+diff -u "${work}/truth.sorted" "${work}/merged2.sorted" \
+  || die "leg-2 merged records differ from the single-process run"
+
+echo "chaos smoke: PASS leg 2 — ${n} records identical across daemon SIGKILL + restart"
+echo "chaos smoke: PASS"
